@@ -1,0 +1,135 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the corresponding experiment
+// driver at a reduced scale and reports domain metrics alongside wall
+// time; `cmd/dilu-bench -scale 1` produces the full-length numbers
+// recorded in EXPERIMENTS.md.
+package dilu
+
+import (
+	"testing"
+
+	"dilu/internal/experiments"
+	"dilu/internal/model"
+	"dilu/internal/profiler"
+)
+
+// benchOpts keeps benchmark iterations short while preserving every
+// experiment's structure.
+func benchOpts() experiments.Options { return experiments.Options{Scale: 0.1, Seed: 1} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	d, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := d.Run(benchOpts())
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+// BenchmarkFigure2_Observations regenerates the Fig. 2(a,b) motivation
+// measurements (over-provisioning, DDP idling, keep-alive waste).
+func BenchmarkFigure2_Observations(b *testing.B) { runExperiment(b, "figure2") }
+
+// BenchmarkFigure2_CoScalingToy regenerates the Fig. 2(c,d) toy
+// co-scaling verification (Exclusive 4 GPUs vs collocated 3 GPUs).
+func BenchmarkFigure2_CoScalingToy(b *testing.B) { runExperiment(b, "figure2cd") }
+
+// BenchmarkTable2_ProfilingEfficiency regenerates the Table 2 search
+// trial-count comparison.
+func BenchmarkTable2_ProfilingEfficiency(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFigure4_TESurface regenerates the Fig. 4 throughput-efficacy
+// surfaces with HGSS stars.
+func BenchmarkFigure4_TESurface(b *testing.B) { runExperiment(b, "figure4") }
+
+// BenchmarkFigure7_TrainInferCollocation regenerates the Fig. 7
+// training-inference collocation comparison.
+func BenchmarkFigure7_TrainInferCollocation(b *testing.B) { runExperiment(b, "figure7") }
+
+// BenchmarkFigure8_InferInferCollocation regenerates the Fig. 8
+// inference-inference collocation comparison.
+func BenchmarkFigure8_InferInferCollocation(b *testing.B) { runExperiment(b, "figure8") }
+
+// BenchmarkFigure9_TrainTrainCollocation regenerates the Fig. 9
+// training-training aggregate-throughput comparison.
+func BenchmarkFigure9_TrainTrainCollocation(b *testing.B) { runExperiment(b, "figure9") }
+
+// BenchmarkFigure10_GammaCV regenerates the Fig. 10 p95-vs-CV sweep.
+func BenchmarkFigure10_GammaCV(b *testing.B) { runExperiment(b, "figure10") }
+
+// BenchmarkFigure11_Overhead regenerates the Fig. 11 vertical-scaling
+// overhead study.
+func BenchmarkFigure11_Overhead(b *testing.B) { runExperiment(b, "figure11") }
+
+// BenchmarkFigure12_CoScalingTrace regenerates the Fig. 12 co-scaling
+// trace analysis.
+func BenchmarkFigure12_CoScalingTrace(b *testing.B) { runExperiment(b, "figure12") }
+
+// BenchmarkTable3_HorizontalScaling regenerates the Table 3 CSC/SVR/SGT
+// comparison.
+func BenchmarkTable3_HorizontalScaling(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure13_KernelIssuing regenerates the Fig. 13 kernel issuing
+// traces.
+func BenchmarkFigure13_KernelIssuing(b *testing.B) { runExperiment(b, "figure13") }
+
+// BenchmarkFigure14_TotalKernels regenerates the Fig. 14 total kernel
+// count comparison.
+func BenchmarkFigure14_TotalKernels(b *testing.B) { runExperiment(b, "figure14") }
+
+// BenchmarkFigure15_EndToEnd regenerates the Fig. 15 end-to-end and
+// ablation comparison.
+func BenchmarkFigure15_EndToEnd(b *testing.B) { runExperiment(b, "figure15") }
+
+// BenchmarkFigure16_AggregateThroughput regenerates the Fig. 16 per-GPU
+// aggregate throughput comparison.
+func BenchmarkFigure16_AggregateThroughput(b *testing.B) { runExperiment(b, "figure16") }
+
+// BenchmarkFigure17_LargeScale regenerates the Fig. 17 1,000-node /
+// 3,200-instance placement simulation.
+func BenchmarkFigure17_LargeScale(b *testing.B) { runExperiment(b, "figure17") }
+
+// BenchmarkFigure18_Sensitivity regenerates the Fig. 18 oversubscription
+// and MaxTokens sensitivity sweeps.
+func BenchmarkFigure18_Sensitivity(b *testing.B) { runExperiment(b, "figure18") }
+
+// BenchmarkSchedulerThroughput measures Algorithm 1 placing 3,200
+// heterogeneous instances on a 1,000-node cluster — the §5.3 scheduling
+// overhead the paper reports as 1.12 s.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if placed := experiments.ScheduleBatch(3200, 1); placed < 3000 {
+			b.Fatalf("placed only %d instances", placed)
+		}
+	}
+}
+
+// BenchmarkHGSS measures one hybrid-growth profiling search.
+func BenchmarkHGSS(b *testing.B) {
+	spec := model.ByName("RoBERTa-large")
+	for i := 0; i < b.N; i++ {
+		if r := profiler.HGSS(spec); r.IBS < 1 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTrainingProfiler measures one binary-search profiling run.
+func BenchmarkTrainingProfiler(b *testing.B) {
+	spec := model.ByName("GPT2-large")
+	for i := 0; i < b.N; i++ {
+		if r := profiler.ProfileTraining(spec); r.Request <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkControllerAblation regenerates the DESIGN.md §4.6 controller
+// ablation table (not a paper artifact; quantifies the interpretation
+// choices against literal Algorithm 2).
+func BenchmarkControllerAblation(b *testing.B) { runExperiment(b, "ablation-controller") }

@@ -1,0 +1,66 @@
+// Command dilu-bench regenerates the paper's evaluation tables and
+// figures. Without arguments it runs every experiment; pass experiment
+// ids (e.g. "table2 figure7") to run a subset.
+//
+//	dilu-bench -scale 1.0            # full-length runs (EXPERIMENTS.md)
+//	dilu-bench -scale 0.25 figure10  # quick look at one artifact
+//	dilu-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dilu/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment duration scale (1.0 = full runs)")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text, csv, json")
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-12s %s\n", d.ID, d.Paper)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	var drivers []experiments.Driver
+	if flag.NArg() == 0 {
+		drivers = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			d, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			drivers = append(drivers, d)
+		}
+	}
+	for _, d := range drivers {
+		start := time.Now()
+		rep := d.Run(opts)
+		switch *format {
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Println(rep.String())
+			fmt.Printf("[%s completed in %.1fs wall time]\n\n", d.ID, time.Since(start).Seconds())
+		}
+	}
+}

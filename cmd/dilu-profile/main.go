@@ -1,0 +1,67 @@
+// Command dilu-profile runs Dilu's multi-factor profiling (§3.2) for
+// catalog models and prints the resulting ⟨request, limit⟩ quotas,
+// inference batch sizes and search costs, with optional comparison
+// against the Table 2 baseline searchers.
+//
+//	dilu-profile                       # profile every model, both roles
+//	dilu-profile -model RoBERTa-large  # one model
+//	dilu-profile -compare              # include Traversal/GPUlet/INFless
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dilu/internal/model"
+	"dilu/internal/profiler"
+	"dilu/internal/report"
+)
+
+func main() {
+	name := flag.String("model", "", "profile a single model (default: all)")
+	compare := flag.Bool("compare", false, "compare search methods (Table 2)")
+	flag.Parse()
+
+	var specs []*model.Spec
+	if *name != "" {
+		found := false
+		for _, s := range model.All() {
+			if s.Name == *name {
+				specs = append(specs, s)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown model %q; available: %s\n",
+				*name, strings.Join(model.Names(), ", "))
+			os.Exit(2)
+		}
+	} else {
+		specs = model.All()
+	}
+
+	t := report.NewTable("Dilu multi-factor profiles",
+		"model", "role", "request", "limit", "IBS", "mem MB", "serving RPS", "trials")
+	for _, s := range specs {
+		pi := profiler.For(s, profiler.RoleInference)
+		t.AddRow(s.Name, "inference", pi.SMReq, pi.SMLim, pi.IBS, pi.MemMB, pi.ServingRPS, pi.Trials)
+		pt := profiler.For(s, profiler.RoleTraining)
+		t.AddRow(s.Name, "training", pt.SMReq, pt.SMLim, "-", pt.MemMB, "-", pt.Trials)
+	}
+	fmt.Print(t.String())
+
+	if *compare {
+		c := report.NewTable("\nSearch method comparison (trials)",
+			"model", "Traversal", "INFless", "GPUlet", "Dilu")
+		for _, s := range specs {
+			c.AddRow(s.Name,
+				profiler.Traversal(s).Trials,
+				profiler.INFless(s).Trials,
+				profiler.GPUlet(s).Trials,
+				profiler.HGSS(s).Trials)
+		}
+		fmt.Print(c.String())
+	}
+}

@@ -1,0 +1,88 @@
+// Command dilu-sim runs an ad-hoc serverless DL serving scenario: one
+// inference function and one optional training job, collocated on a
+// small GPU cluster under a chosen system variant, and prints the
+// resulting QoS and utilization metrics.
+//
+//	dilu-sim -system Dilu -inf RoBERTa-large -rps 40 -cv 3 -train BERT-base
+//	dilu-sim -system MPS-l -inf GPT2-large -rps 20 -dur 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dilu/internal/core"
+	"dilu/internal/rckm"
+	"dilu/internal/scaler"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "Dilu", "token policy: Dilu, MPS-l, MPS-r, Exclusive, TGS, FaST-GS, Uncontrolled")
+	infModel := flag.String("inf", "RoBERTa-large", "inference model")
+	trainModel := flag.String("train", "", "collocated training model (empty = none)")
+	rps := flag.Float64("rps", 30, "mean inference request rate")
+	cv := flag.Float64("cv", 1, "arrival coefficient of variation (1 = Poisson)")
+	dur := flag.Float64("dur", 60, "simulated seconds")
+	nodes := flag.Int("nodes", 1, "cluster nodes")
+	gpus := flag.Int("gpus", 2, "GPUs per node")
+	seed := flag.Int64("seed", 1, "random seed")
+	autoscale := flag.Bool("autoscale", false, "enable Dilu's lazy horizontal scaler")
+	flag.Parse()
+
+	if _, err := rckm.PolicyByName(*system); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := core.Config{Nodes: *nodes, GPUsPerNode: *gpus, Policy: *system, Seed: *seed}
+	if *autoscale {
+		cfg.NewScaler = func() scaler.Policy { return scaler.NewDilu(scaler.DiluConfig{}) }
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var tj *core.TrainingJob
+	if *trainModel != "" {
+		tj, err = sys.DeployTraining(*trainModel+"-train", *trainModel, core.TrainOpts{Workers: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "training deploy:", err)
+			os.Exit(1)
+		}
+	}
+	f, err := sys.DeployInference(*infModel+"-inf", *infModel, core.InferOpts{
+		Arrivals: workload.Gamma{RPS: *rps, CV: *cv},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inference deploy:", err)
+		os.Exit(1)
+	}
+
+	horizon := sim.FromSeconds(*dur)
+	sys.Run(horizon)
+
+	fmt.Printf("system          %s\n", *system)
+	fmt.Printf("simulated       %.0fs on %d GPUs (%d occupied)\n",
+		*dur, *nodes**gpus, sys.Clu.OccupiedCount())
+	fmt.Printf("inference       %s: served=%d p50=%.1fms p95=%.1fms SVR=%.2f%% cold-starts=%d instances=%d\n",
+		*infModel, f.Served(), f.Rec.P50().Millis(), f.Rec.P95().Millis(),
+		f.Rec.ViolationRate()*100, f.ColdStarts.Value, f.InstancesActive())
+	if tj != nil {
+		fmt.Printf("training        %s: %.1f samples/s (%.0f%% of exclusive)\n",
+			*trainModel, tj.Throughput(sys.Eng.Now()),
+			100*tj.Throughput(sys.Eng.Now())/tj.Spec.TrainThroughput(1.0))
+	}
+	var occ float64
+	n := 0
+	for _, g := range sys.Clu.ActiveGPUs() {
+		occ += g.Dev.MeanOccupancy()
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("mean SM busy    %.1f%% across %d active GPUs\n", occ/float64(n)*100, n)
+	}
+}

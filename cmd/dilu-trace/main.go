@@ -1,0 +1,97 @@
+// Command dilu-trace records per-second GPU traces (kernel-issue ratio,
+// cumulative blocks, occupancy, offered RPS) for a training-inference
+// collocation under a chosen token policy and emits them as CSV — the
+// raw data behind Figures 13 and 14, ready for external plotting.
+//
+//	dilu-trace -system Dilu  -inf RoBERTa-large -train BERT-base -rps 10 > dilu.csv
+//	dilu-trace -system MPS-r -inf RoBERTa-large -train BERT-base -rps 10 > mpsr.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"dilu/internal/core"
+	"dilu/internal/rckm"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "Dilu", "token policy: Dilu, MPS-l, MPS-r, Exclusive, TGS, FaST-GS, Uncontrolled")
+	infModel := flag.String("inf", "RoBERTa-large", "inference model")
+	trainModel := flag.String("train", "BERT-base", "collocated training model")
+	rps := flag.Float64("rps", 10, "mean inference request rate")
+	cv := flag.Float64("cv", 1, "arrival coefficient of variation")
+	dur := flag.Float64("dur", 50, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if _, err := rckm.PolicyByName(*system); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sys, err := core.NewSystem(core.Config{Nodes: 1, GPUsPerNode: 1, Policy: *system, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := sys.DeployTraining("t", *trainModel, core.TrainOpts{Workers: 1, Pin: []int{0}}); err != nil {
+		fmt.Fprintln(os.Stderr, "training:", err)
+		os.Exit(1)
+	}
+	f, err := sys.DeployInference("i", *infModel, core.InferOpts{
+		Pin:      []int{0},
+		Arrivals: workload.Gamma{RPS: *rps, CV: *cv},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inference:", err)
+		os.Exit(1)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"seconds", "rps", "inf_kernel_ratio", "total_blocks", "occupancy", "inf_grant_frac", "train_grant_frac"})
+
+	dev := sys.Clu.GPUs()[0].Dev
+	var lastInf, lastTotal float64
+	var next sim.Time = sim.Second
+	arrived := 0
+	sys.OnTick(func(now sim.Time) {
+		if now < next {
+			return
+		}
+		next += sim.Second
+		var inf, tot, infGrant, trainGrant float64
+		for _, r := range dev.Residents() {
+			tot += r.TotalLaunched()
+			if r.ID[0] == 'i' {
+				inf += r.TotalLaunched()
+				infGrant = r.GrantedLast() / dev.Capacity
+			} else {
+				trainGrant = r.GrantedLast() / dev.Capacity
+			}
+		}
+		dInf, dTot := inf-lastInf, tot-lastTotal
+		lastInf, lastTotal = inf, tot
+		ratio := 0.0
+		if dTot > 0 {
+			ratio = dInf / dTot
+		}
+		served := int(f.Served())
+		rpsNow := float64(served - arrived)
+		arrived = served
+		_ = w.Write([]string{
+			fmt.Sprintf("%.0f", now.Seconds()),
+			fmt.Sprintf("%.0f", rpsNow),
+			fmt.Sprintf("%.4f", ratio),
+			fmt.Sprintf("%.0f", tot),
+			fmt.Sprintf("%.3f", dev.LastOccupancy()),
+			fmt.Sprintf("%.3f", infGrant),
+			fmt.Sprintf("%.3f", trainGrant),
+		})
+	})
+	sys.Run(sim.FromSeconds(*dur))
+}

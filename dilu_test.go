@@ -1,0 +1,78 @@
+package dilu
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := NewSystem(Config{Nodes: 1, GPUsPerNode: 2, Seed: 5})
+	f, err := sys.DeployInference("rob", "RoBERTa-large", InferOpts{
+		Arrivals: Poisson{RPS: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := sys.DeployTraining("bert", "BERT-base", TrainOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(30 * Second)
+	if f.Served() < 400 {
+		t.Fatalf("served %d", f.Served())
+	}
+	if tj.Throughput(sys.Eng.Now()) <= 0 {
+		t.Fatal("training made no progress")
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if len(Models()) != 7 {
+		t.Fatalf("catalog size %d", len(Models()))
+	}
+	if ModelByName("LLaMA2-7B").ParamsGB != 12.6 {
+		t.Fatal("catalog lookup broken")
+	}
+}
+
+func TestPublicAPIProfiling(t *testing.T) {
+	p := ProfileInference("RoBERTa-large")
+	if p.SMReq <= 0 || p.SMReq > p.SMLim || p.IBS < 1 || p.ServingRPS <= 0 {
+		t.Fatalf("bad inference profile %+v", p)
+	}
+	q := ProfileTraining("GPT2-large")
+	if q.SMReq <= 0 || q.SMReq > q.SMLim {
+		t.Fatalf("bad training profile %+v", q)
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("expected 18 experiment drivers, got %d", len(exps))
+	}
+	if _, err := ExperimentByID("table2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+	rep := mustExperiment(t, "table2")
+	if rep.Table("Table 2.") == nil {
+		t.Fatal("table2 report missing its table")
+	}
+}
+
+func mustExperiment(t *testing.T, id string) *Report {
+	t.Helper()
+	d, err := ExperimentByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Run(ExperimentOptions{Scale: 0.1, Seed: 1})
+}
+
+func TestNewSystemErrRejectsBadConfig(t *testing.T) {
+	if _, err := NewSystemErr(Config{Policy: "bogus"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Elastic training: the paper's §7 future-work direction — a
+// data-parallel training job that grows workers into residual GPU
+// capacity and retreats when inference needs protection. Watch the
+// worker count rise while the cluster is idle, then fall when a bursty
+// inference function claims its GPU.
+//
+//	go run ./examples/elastictraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dilu"
+	"dilu/internal/core"
+	"dilu/internal/sim"
+)
+
+func main() {
+	sys := dilu.NewSystem(dilu.Config{Nodes: 1, GPUsPerNode: 4, Seed: 9})
+
+	tj, err := sys.DeployTraining("bert-elastic", "BERT-base", dilu.TrainOpts{
+		Workers: 1,
+		Elastic: &core.ElasticOpts{MinWorkers: 1, MaxWorkers: 4, Every: dilu.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// After a quiet warm-up, a demanding inference function arrives.
+	var f *dilu.Function
+	sys.Eng.Schedule(40*dilu.Second, func(sim.Time) {
+		var err error
+		f, err = sys.DeployInference("rob-burst", "RoBERTa-large", dilu.InferOpts{
+			Pin:      []int{3}, // lands on one of the borrowed GPUs
+			Arrivals: dilu.Gamma{RPS: 55, CV: 3},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	fmt.Println("time    workers  train-samples/s  note")
+	var next sim.Time = 10 * sim.Second
+	sys.OnTick(func(now sim.Time) {
+		if now < next {
+			return
+		}
+		next += 10 * sim.Second
+		note := ""
+		switch {
+		case now.Seconds() == 40:
+			note = "<- inference function deployed"
+		case now.Seconds() == 10:
+			note = "growing into idle GPUs"
+		}
+		fmt.Printf("%5.0fs  %7d  %15.0f  %s\n",
+			now.Seconds(), tj.Workers(), tj.Throughput(now), note)
+	})
+	sys.Run(120 * dilu.Second)
+
+	fmt.Printf("\nfinal: %d workers, %.0f samples/s", tj.Workers(), tj.Throughput(sys.Eng.Now()))
+	if f != nil {
+		fmt.Printf("; inference p95=%.0fms SVR=%.2f%%", f.Rec.P95().Millis(), f.Rec.ViolationRate()*100)
+	}
+	fmt.Println()
+	fmt.Println("the job borrowed idle GPUs while they lasted and gave them back under pressure.")
+}

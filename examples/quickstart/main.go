@@ -1,0 +1,48 @@
+// Quickstart: deploy one inference function and one training job on a
+// Dilu-managed 2-GPU node, run two simulated minutes, and print the QoS
+// and utilization outcomes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dilu"
+)
+
+func main() {
+	// A zero-ish Config gives the full Dilu stack: Algorithm 1
+	// scheduling, per-GPU RCKM token control (Algorithm 2), and
+	// deterministic virtual time.
+	sys := dilu.NewSystem(dilu.Config{Nodes: 1, GPUsPerNode: 2, Seed: 42})
+
+	// Profiling happens automatically at deployment: HGSS finds the
+	// <SMR, IBS> star for inference, binary search the training quotas.
+	f, err := sys.DeployInference("roberta-serve", "RoBERTa-large", dilu.InferOpts{
+		Arrivals: dilu.Poisson{RPS: 30},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tj, err := sys.DeployTraining("bert-finetune", "BERT-base", dilu.TrainOpts{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys.Run(2 * dilu.Minute)
+
+	fmt.Println("== quickstart results (2 simulated minutes) ==")
+	fmt.Printf("inference  %s: profile <req=%.2f lim=%.2f ibs=%d>\n",
+		f.Name, f.Profile.SMReq, f.Profile.SMLim, f.Profile.IBS)
+	fmt.Printf("           served=%d  p50=%.1fms  p95=%.1fms  SLO violations=%.2f%%\n",
+		f.Served(), f.Rec.P50().Millis(), f.Rec.P95().Millis(), f.Rec.ViolationRate()*100)
+	fmt.Printf("training   %s: profile <req=%.2f lim=%.2f>\n",
+		tj.Name, tj.Profile.SMReq, tj.Profile.SMLim)
+	fmt.Printf("           %.1f samples/s (%.0f%% of an exclusive GPU)\n",
+		tj.Throughput(sys.Eng.Now()),
+		100*tj.Throughput(sys.Eng.Now())/tj.Spec.TrainThroughput(1.0))
+	fmt.Printf("cluster    %d of %d GPUs occupied — both functions share one GPU\n",
+		sys.Clu.OccupiedCount(), len(sys.Clu.GPUs()))
+}

@@ -1,0 +1,228 @@
+// Package cluster maintains the node/GPU inventory and the ⟨request,
+// limit⟩/memory bookkeeping that Dilu's scheduler (Algorithm 1) operates
+// on, along with the fragmentation and occupancy metrics reported in
+// Figures 2 and 17.
+//
+// A GPU entry can optionally carry a live gpu.Device for kernel-level
+// experiments; placement-only simulations (the 1,000-node run of §5.5)
+// leave it nil and work purely on quota accounting.
+package cluster
+
+import (
+	"fmt"
+
+	"dilu/internal/gpu"
+)
+
+// Placement records one instance's resource reservation on a GPU.
+type Placement struct {
+	Instance string
+	Func     string
+	Req      float64 // SM request quota as allocated by the scheduler
+	Lim      float64 // SM limit quota
+	MemMB    float64
+	// TrueReq is the profiled request quota — the instance's actual
+	// compute need regardless of how generously the scheduler allocated
+	// (Exclusive allocates 1.0 for a 0.3-need instance). Fragmentation
+	// accounting uses it; zero falls back to Req.
+	TrueReq float64
+}
+
+// trueReq returns the actual compute need of the placement.
+func (p *Placement) trueReq() float64 {
+	if p.TrueReq > 0 {
+		return p.TrueReq
+	}
+	return p.Req
+}
+
+// GPU is one schedulable device slot.
+type GPU struct {
+	ID    string
+	Node  *Node
+	Index int
+	Dev   *gpu.Device // nil in placement-only simulations
+
+	MemCapMB   float64
+	SumReq     float64
+	SumLim     float64
+	SumTrueReq float64
+	MemUsedMB  float64
+	Placements []*Placement
+}
+
+// Active reports whether any instance is placed on the GPU.
+func (g *GPU) Active() bool { return len(g.Placements) > 0 }
+
+// Place reserves the placement's quotas on the GPU. Feasibility is the
+// scheduler's concern; Place only refuses memory overflow, mirroring
+// constraint (4).
+func (g *GPU) Place(p *Placement) error {
+	if g.MemUsedMB+p.MemMB > g.MemCapMB {
+		return fmt.Errorf("cluster: gpu %s memory overflow (%.0f+%.0f > %.0f MB)",
+			g.ID, g.MemUsedMB, p.MemMB, g.MemCapMB)
+	}
+	g.SumReq += p.Req
+	g.SumLim += p.Lim
+	g.SumTrueReq += p.trueReq()
+	g.MemUsedMB += p.MemMB
+	g.Placements = append(g.Placements, p)
+	return nil
+}
+
+// Remove releases a placement's reservation.
+func (g *GPU) Remove(p *Placement) {
+	for i, q := range g.Placements {
+		if q == p {
+			g.Placements = append(g.Placements[:i], g.Placements[i+1:]...)
+			g.SumReq -= p.Req
+			g.SumLim -= p.Lim
+			g.SumTrueReq -= p.trueReq()
+			g.MemUsedMB -= p.MemMB
+			return
+		}
+	}
+}
+
+// HostsFunc reports whether any placement belongs to the function.
+func (g *GPU) HostsFunc(fn string) bool {
+	for _, p := range g.Placements {
+		if p.Func == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// Funcs returns the set of function names placed on the GPU.
+func (g *GPU) Funcs() map[string]bool {
+	out := make(map[string]bool, len(g.Placements))
+	for _, p := range g.Placements {
+		out[p.Func] = true
+	}
+	return out
+}
+
+// Node groups the GPUs of one server.
+type Node struct {
+	ID   string
+	GPUs []*GPU
+}
+
+// Cluster is the full inventory.
+type Cluster struct {
+	Nodes []*Node
+	gpus  []*GPU
+}
+
+// Config controls cluster construction.
+type Config struct {
+	Nodes       int
+	GPUsPerNode int
+	MemCapMB    float64 // zero defaults to A100-40GB
+	WithDevices bool    // allocate live gpu.Devices for kernel-level runs
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.GPUsPerNode <= 0 {
+		cfg.GPUsPerNode = 4
+	}
+	if cfg.MemCapMB <= 0 {
+		cfg.MemCapMB = gpu.DefaultMemoryMB
+	}
+	c := &Cluster{}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{ID: fmt.Sprintf("node-%d", n)}
+		for i := 0; i < cfg.GPUsPerNode; i++ {
+			g := &GPU{
+				ID:       fmt.Sprintf("node-%d/gpu-%d", n, i),
+				Node:     node,
+				Index:    i,
+				MemCapMB: cfg.MemCapMB,
+			}
+			if cfg.WithDevices {
+				g.Dev = gpu.NewDevice(g.ID)
+				g.Dev.MemoryMB = cfg.MemCapMB
+			}
+			node.GPUs = append(node.GPUs, g)
+			c.gpus = append(c.gpus, g)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// GPUs returns every GPU in the cluster, in stable order.
+func (c *Cluster) GPUs() []*GPU { return c.gpus }
+
+// ActiveGPUs returns GPUs hosting at least one placement (the 𝐺_act set
+// of Algorithm 1).
+func (c *Cluster) ActiveGPUs() []*GPU {
+	var out []*GPU
+	for _, g := range c.gpus {
+		if g.Active() {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// OccupiedCount returns the number of active GPUs — the scheduling
+// objective Σ g_i of Equation (1).
+func (c *Cluster) OccupiedCount() int {
+	n := 0
+	for _, g := range c.gpus {
+		if g.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates the fragmentation view of the cluster.
+type Stats struct {
+	OccupiedGPUs int
+	TotalGPUs    int
+	// SMFrag is the mean SM share of active GPUs not covered by any
+	// instance's true compute need (1 − ΣTrueReq, floored at 0) — the
+	// dark bars of Figure 17. Exclusive allocation shows high SMFrag
+	// because whole GPUs back fractional needs.
+	SMFrag float64
+	// MemFrag is the mean unreserved memory share across active GPUs —
+	// the striped bars of Figure 17.
+	MemFrag float64
+	// MeanReq and MeanMem are allocation densities of active GPUs.
+	MeanReq float64
+	MeanMem float64
+}
+
+// Snapshot computes the current fragmentation stats.
+func (c *Cluster) Snapshot() Stats {
+	st := Stats{TotalGPUs: len(c.gpus)}
+	for _, g := range c.gpus {
+		if !g.Active() {
+			continue
+		}
+		st.OccupiedGPUs++
+		smFree := 1 - g.SumTrueReq
+		if smFree < 0 {
+			smFree = 0
+		}
+		st.SMFrag += smFree
+		st.MemFrag += 1 - g.MemUsedMB/g.MemCapMB
+		st.MeanReq += g.SumReq
+		st.MeanMem += g.MemUsedMB / g.MemCapMB
+	}
+	if st.OccupiedGPUs > 0 {
+		n := float64(st.OccupiedGPUs)
+		st.SMFrag /= n
+		st.MemFrag /= n
+		st.MeanReq /= n
+		st.MeanMem /= n
+	}
+	return st
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClusterShape(t *testing.T) {
+	c := New(Config{Nodes: 5, GPUsPerNode: 4})
+	if len(c.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if len(c.GPUs()) != 20 {
+		t.Fatalf("gpus = %d", len(c.GPUs()))
+	}
+	if c.GPUs()[7].Node != c.Nodes[1] {
+		t.Fatal("gpu/node linkage broken")
+	}
+}
+
+func TestNewClusterDefaults(t *testing.T) {
+	c := New(Config{})
+	if len(c.GPUs()) != 4 {
+		t.Fatalf("default cluster = %d GPUs, want 4", len(c.GPUs()))
+	}
+	if c.GPUs()[0].MemCapMB != 40*1024 {
+		t.Fatalf("default memory = %v", c.GPUs()[0].MemCapMB)
+	}
+	if c.GPUs()[0].Dev != nil {
+		t.Fatal("devices must be opt-in")
+	}
+}
+
+func TestWithDevices(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 2, WithDevices: true})
+	for _, g := range c.GPUs() {
+		if g.Dev == nil {
+			t.Fatal("missing device")
+		}
+		if g.Dev.MemoryMB != g.MemCapMB {
+			t.Fatal("device memory mismatch")
+		}
+	}
+}
+
+func TestPlaceRemoveAccounting(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 1})
+	g := c.GPUs()[0]
+	p1 := &Placement{Instance: "i1", Func: "f", Req: 0.3, Lim: 0.6, MemMB: 1000}
+	p2 := &Placement{Instance: "i2", Func: "g", Req: 0.4, Lim: 0.7, MemMB: 2000}
+	if err := g.Place(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Place(p2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.SumReq-0.7) > 1e-9 || math.Abs(g.SumLim-1.3) > 1e-9 || g.MemUsedMB != 3000 {
+		t.Fatalf("accounting: req=%v lim=%v mem=%v", g.SumReq, g.SumLim, g.MemUsedMB)
+	}
+	g.Remove(p1)
+	if math.Abs(g.SumReq-0.4) > 1e-9 || g.MemUsedMB != 2000 {
+		t.Fatalf("after remove: req=%v mem=%v", g.SumReq, g.MemUsedMB)
+	}
+	if !g.HostsFunc("g") || g.HostsFunc("f") {
+		t.Fatal("HostsFunc wrong")
+	}
+}
+
+func TestPlaceMemoryOverflow(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 1, MemCapMB: 1000})
+	g := c.GPUs()[0]
+	if err := g.Place(&Placement{MemMB: 1001}); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestOccupiedAndActive(t *testing.T) {
+	c := New(Config{Nodes: 2, GPUsPerNode: 2})
+	if c.OccupiedCount() != 0 {
+		t.Fatal("fresh cluster occupied")
+	}
+	g := c.GPUs()[2]
+	_ = g.Place(&Placement{Instance: "a", Func: "f", Req: 0.5, MemMB: 10})
+	if c.OccupiedCount() != 1 {
+		t.Fatalf("occupied = %d", c.OccupiedCount())
+	}
+	act := c.ActiveGPUs()
+	if len(act) != 1 || act[0] != g {
+		t.Fatal("ActiveGPUs wrong")
+	}
+}
+
+func TestSnapshotFragmentation(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 2, MemCapMB: 1000})
+	_ = c.GPUs()[0].Place(&Placement{Instance: "a", Func: "f", Req: 0.6, MemMB: 250})
+	// GPU 1 idle: must not enter fragmentation averages.
+	st := c.Snapshot()
+	if st.OccupiedGPUs != 1 || st.TotalGPUs != 2 {
+		t.Fatalf("occupancy: %+v", st)
+	}
+	if math.Abs(st.SMFrag-0.4) > 1e-9 {
+		t.Fatalf("SM frag = %v, want 0.4", st.SMFrag)
+	}
+	if math.Abs(st.MemFrag-0.75) > 1e-9 {
+		t.Fatalf("mem frag = %v, want 0.75", st.MemFrag)
+	}
+}
+
+func TestSnapshotClampsOversubscription(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 1})
+	g := c.GPUs()[0]
+	_ = g.Place(&Placement{Instance: "a", Func: "f", Req: 0.7, MemMB: 10})
+	_ = g.Place(&Placement{Instance: "b", Func: "g", Req: 0.7, MemMB: 10})
+	st := c.Snapshot()
+	if st.SMFrag != 0 {
+		t.Fatalf("oversubscribed GPU must report zero SM frag, got %v", st.SMFrag)
+	}
+}
+
+func TestFuncsSet(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 1})
+	g := c.GPUs()[0]
+	_ = g.Place(&Placement{Instance: "a", Func: "f", MemMB: 1})
+	_ = g.Place(&Placement{Instance: "b", Func: "f", MemMB: 1})
+	_ = g.Place(&Placement{Instance: "c", Func: "g", MemMB: 1})
+	fs := g.Funcs()
+	if len(fs) != 2 || !fs["f"] || !fs["g"] {
+		t.Fatalf("funcs = %v", fs)
+	}
+}
+
+// Property: place/remove sequences leave accounting consistent with the
+// surviving placements.
+func TestAccountingConsistencyProperty(t *testing.T) {
+	f := func(ops []struct {
+		Req, Lim uint8
+		Mem      uint16
+		Remove   bool
+	}) bool {
+		c := New(Config{Nodes: 1, GPUsPerNode: 1, MemCapMB: 1e9})
+		g := c.GPUs()[0]
+		var live []*Placement
+		for i, op := range ops {
+			if op.Remove && len(live) > 0 {
+				p := live[i%len(live)]
+				g.Remove(p)
+				for j, q := range live {
+					if q == p {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			p := &Placement{
+				Instance: "x", Func: "f",
+				Req: float64(op.Req) / 255, Lim: float64(op.Lim) / 255,
+				MemMB: float64(op.Mem),
+			}
+			if g.Place(p) == nil {
+				live = append(live, p)
+			}
+		}
+		var req, lim, mem float64
+		for _, p := range live {
+			req += p.Req
+			lim += p.Lim
+			mem += p.MemMB
+		}
+		return math.Abs(g.SumReq-req) < 1e-6 &&
+			math.Abs(g.SumLim-lim) < 1e-6 &&
+			math.Abs(g.MemUsedMB-mem) < 1e-6 &&
+			len(g.Placements) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+func TestElasticTrainingGrowsIntoIdleCluster(t *testing.T) {
+	sys := MustSystem(Config{Nodes: 1, GPUsPerNode: 4})
+	tj, err := sys.DeployTraining("bert-el", "BERT-base", TrainOpts{
+		Workers: 1,
+		Elastic: &ElasticOpts{MaxWorkers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tj.Elastic() {
+		t.Fatal("elastic not armed")
+	}
+	sys.Run(30 * sim.Second)
+	if tj.Workers() != 4 {
+		t.Fatalf("workers = %d, want growth to 4", tj.Workers())
+	}
+	// Throughput should clearly exceed a single worker's rate. (The
+	// lifetime average includes the early 1-worker phase, so the bound
+	// is below the 4× steady state.)
+	thr := tj.Throughput(sys.Eng.Now())
+	single := tj.Spec.TrainThroughput(tj.Profile.SMLim)
+	if thr < 2.0*single {
+		t.Fatalf("elastic throughput %.0f too low vs single %.0f", thr, single)
+	}
+}
+
+func TestElasticTrainingRespectsMax(t *testing.T) {
+	sys := MustSystem(Config{Nodes: 2, GPUsPerNode: 4})
+	tj, err := sys.DeployTraining("bert-el", "BERT-base", TrainOpts{
+		Workers: 1,
+		Elastic: &ElasticOpts{MaxWorkers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(30 * sim.Second)
+	if tj.Workers() != 2 {
+		t.Fatalf("workers = %d, want cap at 2", tj.Workers())
+	}
+}
+
+func TestElasticTrainingShrinksUnderInferencePressure(t *testing.T) {
+	// One GPU cluster: the elastic job grows a second worker only if the
+	// cluster allows; then a heavily loaded inference function triggers
+	// emergencies and the grown worker must retreat.
+	sys := MustSystem(Config{Nodes: 1, GPUsPerNode: 2, Seed: 4})
+	tj, err := sys.DeployTraining("bert-el", "BERT-base", TrainOpts{
+		Workers: 1,
+		Elastic: &ElasticOpts{MinWorkers: 1, MaxWorkers: 2, Every: sim.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * sim.Second)
+	if tj.Workers() != 2 {
+		t.Fatalf("setup: expected growth to 2 workers, got %d", tj.Workers())
+	}
+	// A bursty inference function lands on the grown worker's GPU (the
+	// only one with request headroom) and pushes it into EMERGENCY.
+	grownGPU := tj.elastic.grown[0].dec.GPUs[0]
+	f, err := sys.DeployInference("rob", "RoBERTa-large", InferOpts{
+		Pin:      []int{gpuIndexOf(sys, grownGPU)},
+		Arrivals: workload.Gamma{RPS: 60, CV: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(60 * sim.Second)
+	if tj.Workers() != 1 {
+		t.Fatalf("workers = %d, want shrink back to 1 under pressure", tj.Workers())
+	}
+	if f.Served() == 0 {
+		t.Fatal("inference starved")
+	}
+}
+
+func gpuIndexOf(sys *System, target interface{ Active() bool }) int {
+	for i, g := range sys.Clu.GPUs() {
+		if interface{ Active() bool }(g) == target {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestElasticDisabledForPipelineJobs(t *testing.T) {
+	sys := MustSystem(Config{Nodes: 2, GPUsPerNode: 4})
+	tj, err := sys.DeployTraining("llama-ft", "LLaMA2-7B", TrainOpts{
+		Workers: 4,
+		Elastic: &ElasticOpts{MaxWorkers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * sim.Second)
+	if tj.Elastic() {
+		t.Fatal("pipeline jobs must not scale their stage count")
+	}
+	if tj.Workers() != 4 {
+		t.Fatalf("workers = %d", tj.Workers())
+	}
+}
+
+func TestElasticReleasesOnFinish(t *testing.T) {
+	sys := MustSystem(Config{Nodes: 1, GPUsPerNode: 4})
+	tj, err := sys.DeployTraining("bert-el", "BERT-base", TrainOpts{
+		Workers: 1, TargetIters: 100,
+		Elastic: &ElasticOpts{MaxWorkers: 3, Every: sim.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(60 * sim.Second)
+	if !tj.Job.Finished() {
+		t.Fatal("job should finish")
+	}
+	if sys.Clu.OccupiedCount() != 0 {
+		t.Fatalf("grown workers leaked: %d GPUs still occupied", sys.Clu.OccupiedCount())
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"dilu/internal/cluster"
+	"dilu/internal/instance"
+	"dilu/internal/metrics"
+	"dilu/internal/model"
+	"dilu/internal/profiler"
+	"dilu/internal/scaler"
+	"dilu/internal/sched"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+// InferOpts configures an inference function deployment.
+type InferOpts struct {
+	// Instances is the initial (pre-warmed) instance count; default 1.
+	Instances int
+	// Stages shards every instance over this many GPU fragments
+	// (generative models default to their pipeline depth when 0).
+	Stages int
+	// Arrivals drives the function's request workload; nil means requests
+	// are injected manually via Function.Inject.
+	Arrivals workload.Arrivals
+	// Profile overrides Dilu profiling when non-nil (used by ablations
+	// and calibration experiments).
+	Profile *profiler.Profile
+	// Pin places instances on the given GPU indices directly, bypassing
+	// the scheduler — used by the GPU-level collocation experiments that
+	// fix placements by construction (Figures 7-11, 13, 14).
+	Pin []int
+	// NoScaler disables horizontal scaling for this function even when
+	// the system has a scaler factory.
+	NoScaler bool
+}
+
+// servedInstance couples a running inference instance with its
+// reservation.
+type servedInstance struct {
+	inst   *instance.Inference
+	dec    sched.Decision
+	stages []instance.Stage
+}
+
+// warmEntry is a keep-alive (descheduled but resident) instance.
+type warmEntry struct {
+	si      *servedInstance
+	expires sim.Time
+	reused  bool
+	dead    bool
+}
+
+// Function is one deployed serverless inference function.
+type Function struct {
+	sys     *System
+	Name    string
+	Spec    *model.Spec
+	Profile profiler.Profile
+	Stages  int
+
+	Rec *metrics.LatencyRecorder
+
+	// ColdStarts counts instance launches that paid a cold start after
+	// initial deployment (the CSC of Table 3). Launches counts every
+	// post-deployment launch including warm reuses.
+	ColdStarts metrics.Counter
+	Launches   metrics.Counter
+
+	// RPSTrace and InstTrace are 1 Hz traces for Figure 12.
+	RPSTrace  *metrics.Series
+	InstTrace *metrics.Series
+
+	policy scaler.Policy
+	active []*servedInstance
+	warm   []*warmEntry
+
+	pending []instance.Request
+	arrived int // arrivals in the current 1 s sample window
+
+	pinned []int
+	seq    int
+}
+
+// DeployInference profiles (unless overridden), places and pre-warms an
+// inference function.
+func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Function, error) {
+	spec := model.ByName(modelName)
+	var prof profiler.Profile
+	if opts.Profile != nil {
+		prof = *opts.Profile
+	} else {
+		prof = profiler.For(spec, profiler.RoleInference)
+	}
+	stages := opts.Stages
+	if stages == 0 && spec.Generative {
+		stages = spec.PipelineStages
+	}
+	if stages <= 0 {
+		stages = 1
+	}
+	f := &Function{
+		sys: sys, Name: name, Spec: spec, Profile: prof, Stages: stages,
+		Rec:       metrics.NewLatencyRecorder(name, spec.SLO),
+		RPSTrace:  metrics.NewSeries(name + "/rps"),
+		InstTrace: metrics.NewSeries(name + "/instances"),
+		pinned:    opts.Pin,
+	}
+	if sys.cfg.NewScaler != nil && !opts.NoScaler {
+		f.policy = sys.cfg.NewScaler()
+	}
+	n := opts.Instances
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if _, err := f.launch(false); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Arrivals != nil {
+		// Arrival times are relative to the deployment moment: a
+		// function deployed mid-run starts its trace fresh.
+		base := sys.Eng.Now()
+		arr := opts.Arrivals.Generate(sys.rng.Fork(int64(len(sys.funcs)+1)), sys.remainingHorizonHint())
+		for _, at := range arr {
+			at := base + at
+			sys.Eng.Schedule(at, func(now sim.Time) {
+				f.Inject(now)
+			})
+		}
+	}
+	sys.funcs = append(sys.funcs, f)
+	return f, nil
+}
+
+// remainingHorizonHint bounds pre-generated arrivals; experiments run at
+// most a few simulated hours.
+func (sys *System) remainingHorizonHint() sim.Duration { return 4 * sim.Hour }
+
+// Inject delivers one request to the function at the current time.
+func (f *Function) Inject(now sim.Time) {
+	f.arrived++
+	req := instance.Request{ID: f.sys.nextReqID(), Arrive: now}
+	if in := f.pickLeastLoaded(); in != nil {
+		req.Dispatch = now
+		in.Enqueue(req)
+		return
+	}
+	f.pending = append(f.pending, req)
+}
+
+// pickLeastLoaded is the gateway's dispatch rule across active instances.
+func (f *Function) pickLeastLoaded() *instance.Inference {
+	var best *instance.Inference
+	bestLoad := 1 << 30
+	for _, si := range f.active {
+		if !si.inst.Active() {
+			continue
+		}
+		if l := si.inst.Load(); l < bestLoad {
+			bestLoad = l
+			best = si.inst
+		}
+	}
+	return best
+}
+
+// flushPending hands queued gateway requests to newly active instances.
+func (f *Function) flushPending(now sim.Time) {
+	if len(f.pending) == 0 {
+		return
+	}
+	for _, req := range f.pending {
+		in := f.pickLeastLoaded()
+		if in == nil {
+			return
+		}
+		req.Dispatch = now
+		in.Enqueue(req)
+	}
+	f.pending = f.pending[:0]
+}
+
+// InstancesActive returns the number of serving (or cold-starting)
+// instances.
+func (f *Function) InstancesActive() int { return len(f.active) }
+
+// Served sums completed requests over all instances (including retired
+// ones via the recorder).
+func (f *Function) Served() int64 {
+	if f.Rec == nil {
+		return 0
+	}
+	return int64(f.Rec.Count())
+}
+
+// launch places one instance. cold=true applies the model's cold-start
+// delay before the instance starts serving; cold launches after initial
+// deployment increment ColdStarts unless a warm instance is reused.
+func (f *Function) launch(cold bool) (*servedInstance, error) {
+	sys := f.sys
+	// Keep-alive reuse.
+	if w := f.popWarm(); w != nil {
+		w.si.inst.SetActive(true)
+		f.active = append(f.active, w.si)
+		f.Launches.Inc()
+		f.flushPending(sys.Eng.Now())
+		return w.si, nil
+	}
+	var dec sched.Decision
+	if len(f.pinned) > 0 {
+		d, err := f.pinPlace()
+		if err != nil {
+			return nil, err
+		}
+		dec = d
+	} else {
+		decs, err := sys.scheduler.Schedule(sched.Request{
+			Func: f.Name, Profile: f.Profile, Instances: 1, GPUsPerInstance: f.Stages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dec = decs[0]
+	}
+	stages, err := sys.attach(dec, true, f.Profile)
+	if err != nil {
+		dec.Release()
+		return nil, err
+	}
+	f.seq++
+	in := instance.NewInference(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec, f.Profile.IBS, stages, f.Rec)
+	si := &servedInstance{inst: in, dec: dec, stages: stages}
+	sys.insts = append(sys.insts, in)
+	f.active = append(f.active, si)
+	if cold {
+		f.ColdStarts.Inc()
+		f.Launches.Inc()
+		sys.Eng.After(f.Spec.ColdStart(), func(now sim.Time) {
+			in.SetActive(true)
+			f.flushPending(now)
+		})
+	} else {
+		in.SetActive(true)
+	}
+	return si, nil
+}
+
+// pinPlace reserves the function's quotas on explicitly chosen GPUs. A
+// sharded instance (Stages > 1) spans every pinned GPU; single-stage
+// instances round-robin over the pinned list so Instances=3, Pin=[0,1,2]
+// puts one instance on each GPU.
+func (f *Function) pinPlace() (sched.Decision, error) {
+	sys := f.sys
+	gpus := sys.Clu.GPUs()
+	var targets []int
+	if f.Stages > 1 {
+		if len(f.pinned) != f.Stages {
+			return sched.Decision{}, fmt.Errorf("core: %s pins %d GPUs for %d stages", f.Name, len(f.pinned), f.Stages)
+		}
+		targets = f.pinned
+	} else {
+		targets = []int{f.pinned[f.seq%len(f.pinned)]}
+	}
+	d := sched.Decision{Instance: fmt.Sprintf("%s-pin%d", f.Name, f.seq), Func: f.Name}
+	per := float64(len(targets))
+	for i, idx := range targets {
+		if idx < 0 || idx >= len(gpus) {
+			return sched.Decision{}, fmt.Errorf("core: pin index %d out of range", idx)
+		}
+		g := gpus[idx]
+		p := &cluster.Placement{
+			Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: f.Name,
+			Req: f.Profile.SMReq / per, Lim: f.Profile.SMLim / per, MemMB: f.Profile.MemMB / per,
+		}
+		if err := g.Place(p); err != nil {
+			d.Release()
+			return sched.Decision{}, err
+		}
+		d.GPUs = append(d.GPUs, g)
+		d.Placements = append(d.Placements, p)
+	}
+	return d, nil
+}
+
+// scaleOut launches one instance (cold) in response to the scaler.
+func (f *Function) scaleOut() {
+	_, _ = f.launch(true)
+}
+
+// scaleIn deactivates the least-loaded instance; its reservation either
+// enters the keep-alive pool (TTL > 0) or is torn down immediately.
+func (f *Function) scaleIn(now sim.Time) {
+	if len(f.active) <= 1 {
+		return
+	}
+	idx := len(f.active) - 1
+	load := 1 << 30
+	for i, si := range f.active {
+		if l := si.inst.Load(); l < load {
+			load = l
+			idx = i
+		}
+	}
+	si := f.active[idx]
+	f.active = append(f.active[:idx], f.active[idx+1:]...)
+	si.inst.SetActive(false)
+	// Re-dispatch its queue.
+	for _, req := range si.inst.DropQueue() {
+		if in := f.pickLeastLoaded(); in != nil {
+			in.Enqueue(req)
+		} else {
+			f.pending = append(f.pending, req)
+		}
+	}
+	ttl := sim.Duration(0)
+	if f.policy != nil {
+		ttl = f.policy.KeepAliveTTL()
+	}
+	if ttl <= 0 {
+		f.teardown(si)
+		return
+	}
+	w := &warmEntry{si: si, expires: now + ttl}
+	f.warm = append(f.warm, w)
+	f.sys.Eng.Schedule(w.expires, func(sim.Time) {
+		if !w.reused && !w.dead {
+			w.dead = true
+			f.teardown(si)
+		}
+	})
+}
+
+func (f *Function) popWarm() *warmEntry {
+	for i := len(f.warm) - 1; i >= 0; i-- {
+		w := f.warm[i]
+		if !w.dead && !w.reused {
+			w.reused = true
+			f.warm = append(f.warm[:i], f.warm[i+1:]...)
+			return w
+		}
+	}
+	return nil
+}
+
+// teardown releases an instance's devices and reservations.
+func (f *Function) teardown(si *servedInstance) {
+	f.sys.detach(si.dec, si.stages)
+	si.dec.Release()
+}
+
+// sample is the 1 Hz control step for this function.
+func (f *Function) sample(now sim.Time) {
+	rps := float64(f.arrived)
+	f.arrived = 0
+	f.RPSTrace.Add(now, rps)
+	f.InstTrace.Add(now, float64(len(f.active)))
+	f.flushPending(now)
+	if f.policy == nil {
+		return
+	}
+	delta := f.policy.Decide(now, rps, len(f.active), f.Profile.ServingRPS)
+	switch {
+	case delta > 0:
+		f.scaleOut()
+	case delta < 0:
+		f.scaleIn(now)
+	}
+}

@@ -1,0 +1,217 @@
+// Package core assembles Dilu's three planes — control (profiler +
+// scheduler), scaling (global scaler + per-GPU RCKM), and serving
+// (gateway, instances, GPUs) — into a runnable System, and can assemble
+// every baseline configuration of the evaluation from the same parts
+// (Exclusive, MPS-l/-r, TGS, FaST-GS+, INFless+-l/-r, and the -RC/-WA/-VS
+// ablations).
+//
+// A System owns one deterministic simulation engine. Experiments deploy
+// functions/jobs, run the virtual clock, and read metrics back.
+package core
+
+import (
+	"fmt"
+
+	"dilu/internal/cluster"
+	"dilu/internal/instance"
+	"dilu/internal/metrics"
+	"dilu/internal/rckm"
+	"dilu/internal/scaler"
+	"dilu/internal/sched"
+	"dilu/internal/sim"
+)
+
+// Config selects the system variant and its substrate dimensions.
+type Config struct {
+	// Nodes and GPUsPerNode define the testbed (paper default: 5 × 4).
+	Nodes       int
+	GPUsPerNode int
+	// Policy is the RCKM token-issuing policy name: Dilu, MPS-l, MPS-r,
+	// Exclusive, TGS, FaST-GS, Uncontrolled. Default Dilu.
+	Policy string
+	// Scheduler is the cluster scheduler name: Dilu, Exclusive,
+	// INFless+-l, INFless+-r, FaST-GS+. Default Dilu.
+	Scheduler string
+	// SchedOpts tunes the Dilu scheduler (Ω, γ, ablations).
+	SchedOpts sched.Options
+	// RCKM tunes Algorithm 2 (MaxTokens, η values).
+	RCKM rckm.Config
+	// NewScaler builds a fresh horizontal-scaling policy per inference
+	// function; nil disables horizontal scaling.
+	NewScaler func() scaler.Policy
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.GPUsPerNode <= 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.Policy == "" {
+		c.Policy = "Dilu"
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "Dilu"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// System is one fully wired serverless DL serving stack.
+type System struct {
+	cfg Config
+	Eng *sim.Engine
+	Clu *cluster.Cluster
+
+	scheduler sched.Scheduler
+	managers  []*rckm.Manager // parallel to Clu.GPUs()
+	mgrByGPU  map[*cluster.GPU]*rckm.Manager
+
+	funcs []*Function
+	jobs  []*TrainingJob
+	insts []instance.Ticker
+
+	rng    *sim.RNG
+	reqSeq int64
+
+	// GPUSeries samples occupied-GPU count once per second (SGT and
+	// Figure 17 accounting).
+	GPUSeries *metrics.Series
+
+	onTick []func(now sim.Time)
+
+	horizon sim.Duration
+}
+
+// NewSystem builds a system.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	policy, err := rckm.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	clu := cluster.New(cluster.Config{Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode, WithDevices: true})
+	sys := &System{
+		cfg:       cfg,
+		Eng:       sim.NewEngine(),
+		Clu:       clu,
+		rng:       sim.NewRNG(cfg.Seed),
+		mgrByGPU:  make(map[*cluster.GPU]*rckm.Manager),
+		GPUSeries: metrics.NewSeries("occupied-gpus"),
+	}
+	switch cfg.Scheduler {
+	case "Dilu":
+		sys.scheduler = sched.NewDilu(clu, cfg.SchedOpts)
+	case "Exclusive":
+		sys.scheduler = sched.NewExclusive(clu)
+	case "INFless+-l":
+		sys.scheduler = sched.NewINFlessL(clu)
+	case "INFless+-r":
+		sys.scheduler = sched.NewINFlessR(clu)
+	case "FaST-GS+":
+		sys.scheduler = sched.NewFaSTGS(clu)
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", cfg.Scheduler)
+	}
+	for _, g := range clu.GPUs() {
+		m := rckm.NewManager(g.Dev, policy, cfg.RCKM)
+		sys.managers = append(sys.managers, m)
+		sys.mgrByGPU[g] = m
+	}
+	sys.Eng.AddTicker(sim.TickerFunc(sys.tick))
+	// One-second sampler for scaling decisions and occupancy traces.
+	var sampler func(now sim.Time)
+	sampler = func(now sim.Time) {
+		sys.sample(now)
+		sys.Eng.Schedule(now+sim.Second, sampler)
+	}
+	sys.Eng.Schedule(sim.Second, sampler)
+	return sys, nil
+}
+
+// MustSystem is NewSystem that panics on configuration errors (test and
+// experiment convenience).
+func MustSystem(cfg Config) *System {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// Config returns the system configuration (with defaults applied).
+func (sys *System) Config() Config { return sys.cfg }
+
+// Scheduler exposes the cluster scheduler.
+func (sys *System) Scheduler() sched.Scheduler { return sys.scheduler }
+
+// Functions returns the deployed inference functions.
+func (sys *System) Functions() []*Function { return sys.funcs }
+
+// Jobs returns the deployed training jobs.
+func (sys *System) Jobs() []*TrainingJob { return sys.jobs }
+
+// Manager returns the RCKM manager of a GPU.
+func (sys *System) Manager(g *cluster.GPU) *rckm.Manager { return sys.mgrByGPU[g] }
+
+// OnTick registers a per-5ms-tick observer (trace sampling for Figures
+// 13/14).
+func (sys *System) OnTick(fn func(now sim.Time)) { sys.onTick = append(sys.onTick, fn) }
+
+// tick is the world loop: demand, tokens, execution, completions.
+func (sys *System) tick(now sim.Time) {
+	for _, in := range sys.insts {
+		in.PreTick(now)
+	}
+	for _, m := range sys.managers {
+		if len(m.Clients()) > 0 {
+			m.Issue(now)
+		}
+	}
+	for _, g := range sys.Clu.GPUs() {
+		if len(g.Dev.Residents()) > 0 {
+			g.Dev.ExecuteTick()
+		}
+	}
+	for _, in := range sys.insts {
+		in.PostTick(now)
+	}
+	for _, j := range sys.jobs {
+		j.maybeFinish(now)
+	}
+	for _, fn := range sys.onTick {
+		fn(now)
+	}
+}
+
+// sample runs the 1 Hz control loop: RPS accounting, horizontal scaling,
+// occupancy traces.
+func (sys *System) sample(now sim.Time) {
+	if sys.horizon > 0 && now > sys.horizon {
+		return
+	}
+	sys.GPUSeries.Add(now, float64(sys.Clu.OccupiedCount()))
+	for _, f := range sys.funcs {
+		f.sample(now)
+	}
+}
+
+// Run advances the virtual clock to the horizon.
+func (sys *System) Run(d sim.Duration) {
+	sys.horizon = sys.Eng.Now() + d
+	sys.Eng.Run(sys.horizon)
+}
+
+// GPUSecondsUsed integrates the occupied-GPU trace (for SGT and the cost
+// comparisons of Figure 17).
+func (sys *System) GPUSecondsUsed() float64 { return sys.GPUSeries.Integral() }
+
+func (sys *System) nextReqID() int64 {
+	sys.reqSeq++
+	return sys.reqSeq
+}

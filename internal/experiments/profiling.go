@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dilu/internal/model"
+	"dilu/internal/profiler"
+	"dilu/internal/report"
+)
+
+// table2Models are the four inference models (a)-(d) of Table 2/Figure 4.
+var table2Models = []string{"ResNet152", "RoBERTa-large", "GPT2-large", "LLaMA2-7B"}
+
+// Table2 reproduces the profiling-efficiency comparison: search trial
+// counts per model for Traversal, INFless, GPUlet and Dilu's HGSS.
+func Table2(opts Options) *report.Report {
+	rep := report.New("table2", "Inference profiling efficiency (Table 2)")
+	t := rep.AddTable(report.NewTable(
+		"Table 2. Profiling iterations per model (~30 s per trial)",
+		"method", "ResNet152", "RoBERTa-large", "GPT2-large", "LLaMA2-7B"))
+	methods := []string{"Traversal", "INFless", "GPUlet", "Dilu"}
+	for _, m := range methods {
+		row := []interface{}{m}
+		for _, name := range table2Models {
+			r, err := profiler.SearchByName(m, model.ByName(name))
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, r.Trials)
+		}
+		t.AddRow(row...)
+	}
+	// Speedups relative to Dilu, mirroring the paper's 0.7-1.7× vs
+	// traversal and 1-3.3× vs GPUlet claims.
+	s := rep.AddTable(report.NewTable(
+		"Table 2 (derived). Search speedup of Dilu",
+		"model", "vs Traversal", "vs GPUlet", "vs INFless"))
+	for _, name := range table2Models {
+		spec := model.ByName(name)
+		d := profiler.HGSS(spec).Trials
+		s.AddRow(name,
+			float64(profiler.Traversal(spec).Trials)/float64(d),
+			float64(profiler.GPUlet(spec).Trials)/float64(d),
+			float64(profiler.INFless(spec).Trials)/float64(d))
+	}
+	rep.AddNote("paper: Dilu 8/6/6/9 trials; Traversal 60; GPUlet 16; INFless 20-40")
+	return rep
+}
+
+// Figure4 reproduces the throughput-efficacy surfaces with HGSS stars:
+// for each model the feasible/blocked cell counts, the per-IBS best TE
+// row (the surface ridge), and the starred configuration.
+func Figure4(opts Options) *report.Report {
+	rep := report.New("figure4", "TE surfaces and HGSS stars (Figure 4)")
+	stars := rep.AddTable(report.NewTable(
+		"Figure 4. HGSS stars <IBS, SMR> and surface shape",
+		"model", "star IBS", "star SMR", "star TE", "feasible cells", "blocked cells", "trials"))
+	for _, name := range table2Models {
+		spec := model.ByName(name)
+		pts := profiler.TESurface(spec)
+		res := profiler.HGSS(spec)
+		feasible, blocked := 0, 0
+		for _, p := range pts {
+			if p.Feasible {
+				feasible++
+			} else {
+				blocked++
+			}
+		}
+		stars.AddRow(name, res.IBS, res.Request, res.TE, feasible, blocked, res.Trials)
+
+		ridge := rep.AddTable(report.NewTable(
+			fmt.Sprintf("Figure 4 ridge: %s best TE per IBS (starred row = HGSS choice)", name),
+			"IBS", "best SMR", "TE", "feasible"))
+		for ibs := 1; ibs <= model.MaxIBS; ibs *= 2 {
+			bestTE, bestSMR, any := -1.0, 0.0, false
+			for _, p := range pts {
+				if p.IBS != ibs || !p.Feasible {
+					continue
+				}
+				any = true
+				if p.TE > bestTE {
+					bestTE, bestSMR = p.TE, p.SMR
+				}
+			}
+			if any {
+				mark := ""
+				if ibs == res.IBS {
+					mark = "*"
+				}
+				ridge.AddRow(fmt.Sprintf("%d%s", ibs, mark), bestSMR, bestTE, "yes")
+			} else {
+				ridge.AddRow(fmt.Sprintf("%d", ibs), "-", "-", "no (blocked)")
+			}
+		}
+	}
+	rep.AddNote("stars sit at interior <IBS,SMR> cells; blocked cells are SLO violations (red crosses)")
+	return rep
+}

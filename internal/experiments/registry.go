@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dilu/internal/report"
+)
+
+// Driver regenerates one paper artifact.
+type Driver struct {
+	ID    string // e.g. "table2", "figure7"
+	Paper string // paper artifact reference
+	Run   func(Options) *report.Report
+}
+
+// All returns every experiment driver in paper order.
+func All() []Driver {
+	return []Driver{
+		{"figure2", "Figure 2(a,b) — fragmentation observations", Figure2},
+		{"figure2cd", "Figure 2(c,d) — toy co-scaling verification", Figure2cd},
+		{"table2", "Table 2 — profiling efficiency", Table2},
+		{"figure4", "Figure 4 — TE surfaces and HGSS stars", Figure4},
+		{"figure7", "Figure 7 — training-inference collocation", Figure7},
+		{"figure8", "Figure 8 — inference-inference collocation", Figure8},
+		{"figure9", "Figure 9 — training-training collocation", Figure9},
+		{"figure10", "Figure 10 — Gamma CV sweep", Figure10},
+		{"figure11", "Figure 11 — vertical scaling overhead", Figure11},
+		{"figure12", "Figure 12 — co-scaling trace analysis", Figure12},
+		{"table3", "Table 3 — horizontal scaling (CSC/SVR/SGT)", Table3},
+		{"figure13", "Figure 13 — kernel issuing traces", Figure13},
+		{"figure14", "Figure 14 — total kernel counts", Figure14},
+		{"figure15", "Figure 15 — end-to-end and ablations", Figure15},
+		{"figure16", "Figure 16 — aggregate throughput", Figure16},
+		{"figure17", "Figure 17 — large-scale simulation", Figure17},
+		{"figure18", "Figure 18 — sensitivity analyses", Figure18},
+		{"ablation-controller", "DESIGN.md §4.6 — RCKM controller ablations (extra)", ControllerAblation},
+	}
+}
+
+// ByID returns one driver.
+func ByID(id string) (Driver, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Driver{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShapeInspect2(t *testing.T) {
+	o := Options{Scale: 0.3, Seed: 1}
+	for _, id := range []string{"table3", "figure15", "figure16"} {
+		d, _ := ByID(id)
+		fmt.Println(d.Run(o).String())
+	}
+}

@@ -1,0 +1,131 @@
+// Package metrics implements the measurement layer shared by all Dilu
+// experiments: latency recorders with percentiles and SLO-violation rates,
+// counters for cold starts, time series for utilization traces, and
+// fragmentation/throughput accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dilu/internal/sim"
+)
+
+// LatencyRecorder accumulates request latencies for one function and
+// derives the paper's inference metrics: p50/p95/p99 latency and SLO
+// violation rate (SVR).
+type LatencyRecorder struct {
+	name       string
+	slo        sim.Duration
+	samples    []sim.Duration
+	sorted     bool
+	violations int
+}
+
+// NewLatencyRecorder creates a recorder for a function with the given SLO.
+// An SLO of zero disables violation accounting.
+func NewLatencyRecorder(name string, slo sim.Duration) *LatencyRecorder {
+	return &LatencyRecorder{name: name, slo: slo}
+}
+
+// Name returns the function name this recorder belongs to.
+func (r *LatencyRecorder) Name() string { return r.name }
+
+// SLO returns the recorder's SLO target.
+func (r *LatencyRecorder) SLO() sim.Duration { return r.slo }
+
+// Observe records one request latency.
+func (r *LatencyRecorder) Observe(latency sim.Duration) {
+	r.samples = append(r.samples, latency)
+	r.sorted = false
+	if r.slo > 0 && latency > r.slo {
+		r.violations++
+	}
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Violations returns the number of SLO-violating samples.
+func (r *LatencyRecorder) Violations() int { return r.violations }
+
+// ViolationRate returns the SLO violation rate in [0,1]; zero when empty.
+func (r *LatencyRecorder) ViolationRate() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return float64(r.violations) / float64(len(r.samples))
+}
+
+func (r *LatencyRecorder) ensureSorted() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]) using
+// nearest-rank interpolation; zero when empty.
+func (r *LatencyRecorder) Percentile(p float64) sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[len(r.samples)-1]
+	}
+	rank := p / 100 * float64(len(r.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return r.samples[lo] + sim.Duration(frac*float64(r.samples[hi]-r.samples[lo]))
+}
+
+// P50 returns the median latency.
+func (r *LatencyRecorder) P50() sim.Duration { return r.Percentile(50) }
+
+// P95 returns the 95th percentile latency.
+func (r *LatencyRecorder) P95() sim.Duration { return r.Percentile(95) }
+
+// P99 returns the 99th percentile latency.
+func (r *LatencyRecorder) P99() sim.Duration { return r.Percentile(99) }
+
+// Mean returns the mean latency.
+func (r *LatencyRecorder) Mean() sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / sim.Duration(len(r.samples))
+}
+
+// Max returns the maximum latency.
+func (r *LatencyRecorder) Max() sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[len(r.samples)-1]
+}
+
+// Reset discards all samples.
+func (r *LatencyRecorder) Reset() {
+	r.samples = r.samples[:0]
+	r.violations = 0
+	r.sorted = true
+}
+
+func (r *LatencyRecorder) String() string {
+	return fmt.Sprintf("%s: n=%d p50=%.1fms p95=%.1fms svr=%.2f%%",
+		r.name, r.Count(), r.P50().Millis(), r.P95().Millis(), r.ViolationRate()*100)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+
+	"dilu/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only time series used for utilization, kernel-issue
+// and instance-count traces (Figures 12-14, 17).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(at sim.Time, v float64) { s.Points = append(s.Points, Point{at, v}) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean returns the mean of all values; zero when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the maximum value; zero when empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	if len(s.Points) == 0 {
+		return 0
+	}
+	for _, p := range s.Points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value; zero when empty.
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Integral returns the time integral of the series (trapezoid-free,
+// step interpretation: value holds until next sample) in value·seconds.
+// Used for GPU-time accounting (saved GPU time in Table 3, Figure 17).
+func (s *Series) Integral() float64 {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 1; i < len(s.Points); i++ {
+		dt := (s.Points[i].At - s.Points[i-1].At).Seconds()
+		total += s.Points[i-1].Value * dt
+	}
+	return total
+}
+
+// Downsample returns a new series averaging buckets of the given width,
+// keeping traces compact for report rendering.
+func (s *Series) Downsample(width sim.Duration) *Series {
+	out := NewSeries(s.Name)
+	if len(s.Points) == 0 || width <= 0 {
+		return out
+	}
+	bucketStart := s.Points[0].At
+	var sum float64
+	var n int
+	flush := func(end sim.Time) {
+		if n > 0 {
+			out.Add(bucketStart, sum/float64(n))
+		}
+		bucketStart = end
+		sum, n = 0, 0
+	}
+	for _, p := range s.Points {
+		for p.At >= bucketStart+width {
+			flush(bucketStart + width)
+		}
+		sum += p.Value
+		n++
+	}
+	flush(bucketStart + width)
+	return out
+}
+
+// Counter is a monotonically increasing event counter (cold starts,
+// launches, terminations).
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.Value += n }

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"dilu/internal/sim"
+)
+
+func TestFamilyAndSpecStrings(t *testing.T) {
+	if Vision.String() != "vision" || NLP.String() != "nlp" || LLM.String() != "llm" {
+		t.Fatal("family names wrong")
+	}
+	if Family(99).String() != "unknown" {
+		t.Fatal("unknown family")
+	}
+	s := ByName("LLaMA2-7B").String()
+	if !strings.Contains(s, "LLaMA2-7B") || !strings.Contains(s, "llm") {
+		t.Fatalf("spec string: %s", s)
+	}
+}
+
+func TestBatchClampsToOne(t *testing.T) {
+	s := ByName("RoBERTa-large")
+	if s.InferWork(0) != s.InferWork(1) || s.InferWork(-3) != s.InferWork(1) {
+		t.Fatal("InferWork must clamp batch to 1")
+	}
+	if s.DecodeStepWork(0) != s.DecodeStepWork(1) {
+		t.Fatal("DecodeStepWork must clamp")
+	}
+	if s.InferKnee(0) != s.InferKnee(1) {
+		t.Fatal("InferKnee must clamp")
+	}
+	llm := ByName("LLaMA2-7B")
+	if llm.GenerateWork(0, 8) != llm.GenerateWork(1, 8) {
+		t.Fatal("GenerateWork must clamp")
+	}
+}
+
+func TestDegenerateShares(t *testing.T) {
+	s := ByName("BERT-base")
+	if s.InferExecTime(0, 1) != sim.Hour {
+		t.Fatal("zero share exec time should be the sentinel hour")
+	}
+	if thr := s.InferThroughput(0, 1); thr > 0.001 {
+		t.Fatalf("zero share throughput should be negligible: %v", thr)
+	}
+	if s.ThroughputEfficacy(0, 1) != 0 {
+		t.Fatal("zero share TE")
+	}
+	if thr := s.TrainThroughput(0); thr > 0.01 {
+		t.Fatalf("zero share training throughput should be negligible: %v", thr)
+	}
+	if s.TrainIdleFraction(0) <= 0 {
+		t.Fatal("idle fraction at zero share should still be defined (all idle-ish)")
+	}
+	llm := ByName("ChatGLM3-6B")
+	if llm.TPOT(0, 1) != sim.Hour {
+		t.Fatal("zero share TPOT sentinel")
+	}
+}
+
+func TestChatGLMCoverage(t *testing.T) {
+	s := ByName("ChatGLM3-6B")
+	if !s.Generative || s.PipelineStages != 4 {
+		t.Fatal("ChatGLM must be generative with 4 stages")
+	}
+	if s.TPOT(0.5, 2) <= 0 || s.TPOT(0.5, 2) > s.SLO {
+		t.Fatalf("ChatGLM TPOT at half GPU: %v", s.TPOT(0.5, 2))
+	}
+	w := s.GenerateWork(2, 16)
+	if w <= s.PrefillWork {
+		t.Fatal("generate work must include decode steps")
+	}
+}
+
+func TestKneeCapAtLargeBatch(t *testing.T) {
+	for _, s := range All() {
+		if k := s.InferKnee(MaxIBS); k > 0.93 {
+			t.Fatalf("%s: knee %v exceeds cap", s.Name, k)
+		}
+	}
+}

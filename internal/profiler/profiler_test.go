@@ -1,0 +1,205 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dilu/internal/model"
+)
+
+func TestTrainingBinarySearchTargets(t *testing.T) {
+	for _, spec := range model.All() {
+		r := ProfileTraining(spec)
+		t1 := spec.TrainThroughput(1.0)
+		reqRatio := spec.TrainThroughput(r.Request) / t1
+		limRatio := spec.TrainThroughput(r.Limit) / t1
+		if reqRatio < 0.76 || reqRatio > 0.86 {
+			t.Fatalf("%s: request ratio %.3f, want ~0.80±0.02", spec.Name, reqRatio)
+		}
+		if limRatio < 0.94 {
+			t.Fatalf("%s: limit ratio %.3f, want ≥0.96±0.02", spec.Name, limRatio)
+		}
+		if r.Request > r.Limit {
+			t.Fatalf("%s: request %v > limit %v", spec.Name, r.Request, r.Limit)
+		}
+		if r.Trials > 25 {
+			t.Fatalf("%s: binary search used %d trials", spec.Name, r.Trials)
+		}
+	}
+}
+
+func TestHGSSMeetsSLO(t *testing.T) {
+	for _, spec := range model.All() {
+		r := HGSS(spec)
+		if !feasible(spec, r.Request, r.IBS) {
+			t.Fatalf("%s: HGSS star (%d, %.1f) violates SLO", spec.Name, r.IBS, r.Request)
+		}
+		if r.Limit < r.Request || r.Limit > 1 {
+			t.Fatalf("%s: bad limit %v for request %v", spec.Name, r.Limit, r.Request)
+		}
+	}
+}
+
+func TestHGSSInteriorStars(t *testing.T) {
+	// The sigmoid TE surface must put stars at interior, moderate
+	// configurations (Figure 4), not pinned to the SMR grid edge for the
+	// larger models.
+	for _, name := range []string{"RoBERTa-large", "GPT2-large", "LLaMA2-7B"} {
+		r := HGSS(model.ByName(name))
+		if r.Request < 0.15 || r.Request > 0.95 {
+			t.Fatalf("%s: star SMR %.2f at grid edge", name, r.Request)
+		}
+		if r.IBS < 2 {
+			t.Fatalf("%s: star IBS %d — batching should pay off", name, r.IBS)
+		}
+	}
+}
+
+func TestTable2TrialCounts(t *testing.T) {
+	// Table 2 shape: Traversal = 60 per model; GPUlet = 16 constant;
+	// Dilu far below both; INFless in between.
+	for _, name := range []string{"ResNet152", "RoBERTa-large", "GPT2-large", "LLaMA2-7B"} {
+		spec := model.ByName(name)
+		trav := Traversal(spec)
+		gpulet := GPUlet(spec)
+		dilu := HGSS(spec)
+		infless := INFless(spec)
+		if trav.Trials != 60 {
+			t.Fatalf("%s: traversal trials = %d, want 60", name, trav.Trials)
+		}
+		if gpulet.Trials != 16 {
+			t.Fatalf("%s: GPUlet trials = %d, want 16", name, gpulet.Trials)
+		}
+		if dilu.Trials >= gpulet.Trials {
+			t.Fatalf("%s: Dilu trials %d not below GPUlet %d", name, dilu.Trials, gpulet.Trials)
+		}
+		if infless.Trials <= gpulet.Trials || infless.Trials >= trav.Trials {
+			t.Fatalf("%s: INFless trials %d out of (16,60)", name, infless.Trials)
+		}
+	}
+}
+
+func TestHGSSNearOptimalTE(t *testing.T) {
+	// HGSS follows a forward path; its star may be slightly below the
+	// exhaustive optimum but must stay within a reasonable factor.
+	for _, spec := range model.All() {
+		h := HGSS(spec)
+		tr := Traversal(spec)
+		if h.TE < 0.5*tr.TE {
+			t.Fatalf("%s: HGSS TE %.3f vs traversal %.3f — too far off", spec.Name, h.TE, tr.TE)
+		}
+	}
+}
+
+func TestINFlessOvershootsRequest(t *testing.T) {
+	// INFless' predictive margin allocates at least the traversal-optimal
+	// SMR (the conservative 30% RoBERTa allocation of Figure 2(a)).
+	spec := model.ByName("RoBERTa-large")
+	inf := INFless(spec)
+	trav := Traversal(spec)
+	if inf.Request < trav.Request {
+		t.Fatalf("INFless request %v below optimal %v", inf.Request, trav.Request)
+	}
+	if !feasible(spec, inf.Request, inf.IBS) {
+		t.Fatal("INFless config violates SLO")
+	}
+}
+
+func TestSearchByName(t *testing.T) {
+	spec := model.ByName("BERT-base")
+	for _, n := range []string{"Dilu", "Traversal", "GPUlet", "INFless"} {
+		r, err := SearchByName(n, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Trials == 0 {
+			t.Fatalf("%s: zero trials", n)
+		}
+	}
+	if _, err := SearchByName("zzz", spec); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTESurfaceHasStarAndBlockedCells(t *testing.T) {
+	for _, name := range []string{"ResNet152", "RoBERTa-large", "GPT2-large", "LLaMA2-7B"} {
+		pts := TESurface(model.ByName(name))
+		if len(pts) != 60 {
+			t.Fatalf("%s: surface has %d cells, want 60", name, len(pts))
+		}
+		stars, feas, infeas := 0, 0, 0
+		for _, p := range pts {
+			if p.Star {
+				stars++
+				if !p.Feasible {
+					t.Fatalf("%s: star on infeasible cell", name)
+				}
+			}
+			if p.Feasible {
+				feas++
+			} else {
+				infeas++
+			}
+		}
+		if stars != 1 {
+			t.Fatalf("%s: %d stars", name, stars)
+		}
+		if feas == 0 || infeas == 0 {
+			t.Fatalf("%s: surface not mixed (feasible=%d infeasible=%d)", name, feas, infeas)
+		}
+	}
+}
+
+func TestProfileForInference(t *testing.T) {
+	p := For(model.ByName("RoBERTa-large"), RoleInference)
+	if p.Role != RoleInference || p.IBS < 1 {
+		t.Fatalf("bad profile %+v", p)
+	}
+	if p.ServingRPS <= 0 {
+		t.Fatal("serving RPS missing")
+	}
+	if p.MemMB != model.ByName("RoBERTa-large").InferMemMB {
+		t.Fatal("memory mismatch")
+	}
+	if p.SeedKLC <= 0 {
+		t.Fatal("seed KLC missing")
+	}
+	// Serving capacity at the request quota must be consistent with the
+	// model's predicted throughput.
+	want := model.ByName("RoBERTa-large").InferThroughput(p.SMReq, p.IBS)
+	if math.Abs(p.ServingRPS-want) > 1e-9 {
+		t.Fatalf("serving RPS %v != %v", p.ServingRPS, want)
+	}
+}
+
+func TestProfileForTraining(t *testing.T) {
+	p := For(model.ByName("GPT2-large"), RoleTraining)
+	if p.Role != RoleTraining || p.IBS != 1 {
+		t.Fatalf("bad profile %+v", p)
+	}
+	if p.MemMB != model.ByName("GPT2-large").TrainMemMB {
+		t.Fatal("memory mismatch")
+	}
+	if p.SMReq <= 0 || p.SMLim < p.SMReq || p.SMLim > 1 {
+		t.Fatalf("quotas: req=%v lim=%v", p.SMReq, p.SMLim)
+	}
+}
+
+// Property: for every model the profiled request quota never exceeds the
+// limit, and both stay in (0, 1].
+func TestQuotaOrderingProperty(t *testing.T) {
+	models := model.All()
+	f := func(mi uint8, train bool) bool {
+		spec := models[int(mi)%len(models)]
+		role := RoleInference
+		if train {
+			role = RoleTraining
+		}
+		p := For(spec, role)
+		return p.SMReq > 0 && p.SMReq <= p.SMLim && p.SMLim <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

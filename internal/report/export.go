@@ -1,0 +1,111 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV streams every table of the report as CSV sections separated
+// by blank lines; series are emitted as two-column (seconds, value)
+// sections. The format round-trips into spreadsheet/plotting tools for
+// regenerating the paper's figures graphically.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, t := range r.Tables {
+		if err := cw.Write([]string{"# " + t.Caption}); err != nil {
+			return err
+		}
+		if err := cw.Write(t.Columns); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if err := cw.Write([]string{"# series " + s.Name}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"seconds", "value"}); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if err := cw.Write([]string{
+				fmt.Sprintf("%.3f", p.At.Seconds()),
+				fmt.Sprintf("%g", p.Value),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV renders the report as a CSV string.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	_ = r.WriteCSV(&b)
+	return b.String()
+}
+
+// jsonReport is the stable JSON shape of a report.
+type jsonReport struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Tables []jsonTable  `json:"tables,omitempty"`
+	Series []jsonSeries `json:"series,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	Caption string     `json:"caption"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points [][2]string `json:"points"`
+}
+
+// WriteJSON emits the report as a single JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, jsonTable{Caption: t.Caption, Columns: t.Columns, Rows: t.Rows})
+	}
+	for _, s := range r.Series {
+		js := jsonSeries{Name: s.Name}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, [2]string{
+				fmt.Sprintf("%.3f", p.At.Seconds()),
+				fmt.Sprintf("%g", p.Value),
+			})
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// JSON renders the report as a JSON string.
+func (r *Report) JSON() string {
+	var b strings.Builder
+	_ = r.WriteJSON(&b)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dilu/internal/metrics"
+	"dilu/internal/sim"
+)
+
+func sampleReport() *Report {
+	r := New("figX", "demo")
+	t := r.AddTable(NewTable("Table A", "k", "v"))
+	t.AddRow("alpha", 1.25)
+	t.AddRow("beta, with comma", 2.0)
+	s := metrics.NewSeries("trace")
+	s.Add(0, 1)
+	s.Add(1500*sim.Millisecond, 2.5)
+	r.AddSeries(s)
+	r.AddNote("a note")
+	return r
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	out := sampleReport().CSV()
+	// Every CSV section must parse back.
+	for _, section := range strings.Split(strings.TrimSpace(out), "\n\n") {
+		rd := csv.NewReader(strings.NewReader(section))
+		rd.FieldsPerRecord = -1
+		if _, err := rd.ReadAll(); err != nil {
+			t.Fatalf("section does not parse: %v\n%s", err, section)
+		}
+	}
+	if !strings.Contains(out, `"beta, with comma"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "# series trace") || !strings.Contains(out, "1.500,2.5") {
+		t.Fatalf("series section missing:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	out := sampleReport().JSON()
+	var decoded struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Caption string     `json:"caption"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+		Series []struct {
+			Name   string      `json:"name"`
+			Points [][2]string `json:"points"`
+		} `json:"series"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.ID != "figX" || len(decoded.Tables) != 1 || len(decoded.Series) != 1 {
+		t.Fatalf("structure lost: %+v", decoded)
+	}
+	if decoded.Tables[0].Rows[1][0] != "beta, with comma" {
+		t.Fatal("cell content lost")
+	}
+	if decoded.Series[0].Points[1][0] != "1.500" {
+		t.Fatalf("series point lost: %+v", decoded.Series[0])
+	}
+	if len(decoded.Notes) != 1 {
+		t.Fatal("notes lost")
+	}
+}
+
+func TestExportEmptyReport(t *testing.T) {
+	r := New("empty", "nothing")
+	if err := r.WriteCSV(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"id": "empty"`) {
+		t.Fatal("empty JSON malformed")
+	}
+}

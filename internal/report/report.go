@@ -1,0 +1,191 @@
+// Package report renders experiment results as aligned ASCII tables and
+// compact series dumps, the output format of the benchmark harness and
+// the cmd/ tools. Each experiment produces one Report combining tables
+// (paper tables, bar charts) and series (line plots).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dilu/internal/metrics"
+)
+
+// Table is a rows×columns result with a caption tying it to the paper
+// artifact it regenerates.
+type Table struct {
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates an empty table.
+func NewTable(caption string, columns ...string) *Table {
+	return &Table{Caption: caption, Columns: columns}
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(b *strings.Builder) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s\n", t.Caption)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table standalone.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Cell returns a cell by row/column index (test convenience).
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// FindRow returns the first row whose first cell equals key, or nil.
+func (t *Table) FindRow(key string) []string {
+	for _, r := range t.Rows {
+		if len(r) > 0 && r[0] == key {
+			return r
+		}
+	}
+	return nil
+}
+
+// Report is the full output of one experiment.
+type Report struct {
+	ID     string // experiment id, e.g. "figure7"
+	Title  string
+	Tables []*Table
+	Series []*metrics.Series
+	Notes  []string
+}
+
+// New creates a report.
+func New(id, title string) *Report { return &Report{ID: id, Title: title} }
+
+// AddTable appends a table and returns it for chaining.
+func (r *Report) AddTable(t *Table) *Table {
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// AddSeries appends a trace.
+func (r *Report) AddSeries(s *metrics.Series) { r.Series = append(r.Series, s) }
+
+// AddNote appends a free-form annotation.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table returns the table with the given caption prefix, or nil.
+func (r *Report) Table(captionPrefix string) *Table {
+	for _, t := range r.Tables {
+		if strings.HasPrefix(t.Caption, captionPrefix) {
+			return t
+		}
+	}
+	return nil
+}
+
+// String renders the whole report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		t.Render(&b)
+	}
+	for _, s := range r.Series {
+		b.WriteByte('\n')
+		renderSeries(&b, s)
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// renderSeries prints a compact sampled view of a trace: up to 12 evenly
+// spaced points plus summary stats.
+func renderSeries(b *strings.Builder, s *metrics.Series) {
+	fmt.Fprintf(b, "series %s: n=%d mean=%.2f min=%.2f max=%.2f\n",
+		s.Name, s.Len(), s.Mean(), s.Min(), s.Max())
+	if s.Len() == 0 {
+		return
+	}
+	step := s.Len() / 12
+	if step < 1 {
+		step = 1
+	}
+	var parts []string
+	for i := 0; i < s.Len(); i += step {
+		p := s.Points[i]
+		parts = append(parts, fmt.Sprintf("%.0fs:%.1f", p.At.Seconds(), p.Value))
+	}
+	fmt.Fprintf(b, "  %s\n", strings.Join(parts, " "))
+}
+
+// SortRows orders rows by the first column (stable output for maps).
+func (t *Table) SortRows() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}

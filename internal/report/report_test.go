@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dilu/internal/metrics"
+	"dilu/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X. Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 12345.678)
+	out := tb.String()
+	if !strings.Contains(out, "Table X. Demo") {
+		t.Fatal("caption missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+	if !strings.Contains(out, "12346") {
+		t.Fatalf("large floats should render without decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // caption, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("longlonglong", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header/separator misaligned:\n%s", out)
+	}
+}
+
+func TestFindRowAndCell(t *testing.T) {
+	tb := NewTable("T", "k", "v")
+	tb.AddRow("x", 1)
+	tb.AddRow("y", 2)
+	if r := tb.FindRow("y"); r == nil || r[1] != "2" {
+		t.Fatalf("FindRow = %v", r)
+	}
+	if tb.FindRow("z") != nil {
+		t.Fatal("missing key should return nil")
+	}
+	if tb.Cell(0, 1) != "1" {
+		t.Fatal("Cell wrong")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	tb := NewTable("T", "k")
+	tb.AddRow("b")
+	tb.AddRow("a")
+	tb.SortRows()
+	if tb.Cell(0, 0) != "a" {
+		t.Fatal("sort failed")
+	}
+}
+
+func TestReportComposition(t *testing.T) {
+	r := New("figureX", "demo experiment")
+	tb := r.AddTable(NewTable("Figure X. Part", "k", "v"))
+	tb.AddRow("m", 3.0)
+	s := metrics.NewSeries("trace")
+	for i := 0; i < 30; i++ {
+		s.Add(sim.Time(i)*sim.Second, float64(i))
+	}
+	r.AddSeries(s)
+	r.AddNote("paper reports %.1f", 2.5)
+	out := r.String()
+	for _, want := range []string{"figureX", "Figure X. Part", "series trace", "paper reports 2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if r.Table("Figure X") != tb {
+		t.Fatal("Table lookup failed")
+	}
+	if r.Table("nope") != nil {
+		t.Fatal("missing caption should return nil")
+	}
+}
+
+func TestEmptySeriesRendering(t *testing.T) {
+	r := New("x", "t")
+	r.AddSeries(metrics.NewSeries("empty"))
+	if !strings.Contains(r.String(), "series empty: n=0") {
+		t.Fatal("empty series should render summary only")
+	}
+}

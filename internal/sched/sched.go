@@ -1,0 +1,529 @@
+// Package sched implements Dilu's resourcing-complementary scheduling
+// (§3.3, Algorithm 1) and the cluster-level baseline schedulers of the
+// evaluation (Exclusive, INFless+-l/-r, FaST-GS+), all operating on the
+// ⟨request, limit⟩/memory bookkeeping of internal/cluster.
+//
+// The Dilu scheduler follows the paper's three principles: workload-
+// affinity-first collocation (Principle-1), defragmentation through
+// resource complementarity with best-fit scoring and memory worst-fit for
+// multi-GPU LLMs (Principle-2), and oversubscription bounded by Ω and γ
+// with QoS guarantees (Principle-3).
+package sched
+
+import (
+	"fmt"
+
+	"dilu/internal/cluster"
+	"dilu/internal/profiler"
+)
+
+// Request asks for n instances of one function to be placed.
+type Request struct {
+	Func    string
+	Profile profiler.Profile
+	// Instances is n_j: the number of instances (or training workers).
+	Instances int
+	// GPUsPerInstance > 1 shards one instance over multiple GPU fragments
+	// (LLM pipeline stages); the profile's quotas and memory then apply
+	// per stage.
+	GPUsPerInstance int
+}
+
+// Decision is one placed instance.
+type Decision struct {
+	Instance   string
+	Func       string
+	GPUs       []*cluster.GPU
+	Placements []*cluster.Placement
+}
+
+// Release returns the decision's reservations to the cluster.
+func (d *Decision) Release() {
+	for i, p := range d.Placements {
+		d.GPUs[i].Remove(p)
+	}
+}
+
+// Scheduler places deployment requests onto a cluster.
+type Scheduler interface {
+	Name() string
+	Cluster() *cluster.Cluster
+	Schedule(req Request) ([]Decision, error)
+}
+
+// ErrNoCapacity is returned when no GPU (active or fresh) satisfies the
+// constraints.
+var ErrNoCapacity = fmt.Errorf("sched: no GPU satisfies constraints")
+
+// ---------------------------------------------------------------------------
+// Dilu: Algorithm 1.
+
+// Options are the Dilu scheduler hyper-parameters.
+type Options struct {
+	// Omega bounds Σ request quotas per GPU (Ω, default 1.0).
+	Omega float64
+	// Gamma bounds Σ limit quotas per GPU (γ, default 1.5 — the
+	// oversubscription coefficient of Figure 18(a)).
+	Gamma float64
+	// Alpha and Beta weight the SM and memory terms of the
+	// fragmentation score (default 0.5 / 0.5).
+	Alpha, Beta float64
+	// DisableAffinity turns off Principle-1 (the -WA ablation).
+	DisableAffinity bool
+	// DisableComplementary turns off Principle-2 (the -RC ablation):
+	// memory is dropped from the score and multi-GPU LLM deployment
+	// falls back to whole fresh GPUs.
+	DisableComplementary bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Omega <= 0 {
+		o.Omega = 1.0
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 1.5
+	}
+	if o.Alpha == 0 && o.Beta == 0 {
+		o.Alpha, o.Beta = 0.5, 0.5
+	}
+	return o
+}
+
+// Dilu is the Algorithm 1 scheduler.
+type Dilu struct {
+	opts Options
+	clu  *cluster.Cluster
+	seq  int
+}
+
+// NewDilu builds the scheduler over a cluster.
+func NewDilu(clu *cluster.Cluster, opts Options) *Dilu {
+	return &Dilu{opts: opts.withDefaults(), clu: clu}
+}
+
+// Name implements Scheduler.
+func (s *Dilu) Name() string { return "Dilu" }
+
+// Cluster implements Scheduler.
+func (s *Dilu) Cluster() *cluster.Cluster { return s.clu }
+
+// Options returns the active hyper-parameters.
+func (s *Dilu) Options() Options { return s.opts }
+
+// Schedule implements Algorithm 1's ScheduleInstances loop.
+func (s *Dilu) Schedule(req Request) ([]Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	var out []Decision
+	for k := 0; k < req.Instances; k++ {
+		var d Decision
+		var err error
+		if stages > 1 {
+			d, err = s.placeMultiGPU(req, stages)
+		} else {
+			d, err = s.placeSingle(req)
+		}
+		if err != nil {
+			for _, prev := range out {
+				prev.Release()
+			}
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (s *Dilu) nextID(fn string) string {
+	s.seq++
+	return fmt.Sprintf("%s-%d", fn, s.seq)
+}
+
+// placeSingle implements lines 10-18 for a one-GPU instance.
+func (s *Dilu) placeSingle(req Request) (Decision, error) {
+	p := req.Profile
+	var gpu *cluster.GPU
+	if !s.opts.DisableAffinity {
+		gpu = s.selectOptGPU(s.affinityGPUs(req.Func), p, req.Func)
+	}
+	if gpu == nil {
+		gpu = s.selectOptGPU(s.clu.ActiveGPUs(), p, req.Func)
+	}
+	if gpu == nil {
+		gpu = s.freshGPU()
+	}
+	if gpu == nil {
+		return Decision{}, ErrNoCapacity
+	}
+	pl := &cluster.Placement{
+		Instance: s.nextID(req.Func), Func: req.Func,
+		Req: p.SMReq, Lim: p.SMLim, MemMB: p.MemMB,
+	}
+	if err := gpu.Place(pl); err != nil {
+		return Decision{}, err
+	}
+	return Decision{Instance: pl.Instance, Func: req.Func,
+		GPUs: []*cluster.GPU{gpu}, Placements: []*cluster.Placement{pl}}, nil
+}
+
+// placeMultiGPU shards an LLM instance over `stages` GPU fragments using
+// the memory worst-fit strategy of Principle-2 (most remaining memory
+// first, minimizing pipeline depth and end-to-end latency). The whole-
+// instance profile is divided across stages: each fragment carries 1/n of
+// the quotas and memory.
+func (s *Dilu) placeMultiGPU(req Request, stages int) (Decision, error) {
+	p := shardProfile(req.Profile, stages)
+	if s.opts.DisableComplementary {
+		return s.placeExclusiveStages(req, stages)
+	}
+	// Candidates: every GPU (fragments preferred by free memory;
+	// inactive GPUs are the worst-fit extreme and naturally qualify).
+	type cand struct {
+		g    *cluster.GPU
+		free float64
+	}
+	var cands []cand
+	for _, g := range s.clu.GPUs() {
+		if g.SumReq+p.SMReq > s.opts.Omega+1e-9 {
+			continue
+		}
+		if g.SumLim+p.SMLim > s.opts.Gamma+1e-9 {
+			continue
+		}
+		if g.MemUsedMB+p.MemMB > g.MemCapMB {
+			continue
+		}
+		cands = append(cands, cand{g, g.MemCapMB - g.MemUsedMB})
+	}
+	if len(cands) < stages {
+		return Decision{}, ErrNoCapacity
+	}
+	// Worst fit: stable selection of the most-free GPUs.
+	for i := 0; i < stages; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].free > cands[best].free {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	id := s.nextID(req.Func)
+	d := Decision{Instance: id, Func: req.Func}
+	for i := 0; i < stages; i++ {
+		pl := &cluster.Placement{
+			Instance: fmt.Sprintf("%s/s%d", id, i), Func: req.Func,
+			Req: p.SMReq, Lim: p.SMLim, MemMB: p.MemMB,
+		}
+		if err := cands[i].g.Place(pl); err != nil {
+			d.Release()
+			return Decision{}, err
+		}
+		d.GPUs = append(d.GPUs, cands[i].g)
+		d.Placements = append(d.Placements, pl)
+	}
+	return d, nil
+}
+
+// placeExclusiveStages is the -RC fallback: each stage takes a fresh GPU.
+func (s *Dilu) placeExclusiveStages(req Request, stages int) (Decision, error) {
+	prof := shardProfile(req.Profile, stages)
+	id := s.nextID(req.Func)
+	d := Decision{Instance: id, Func: req.Func}
+	for i := 0; i < stages; i++ {
+		g := s.freshGPU()
+		if g == nil {
+			d.Release()
+			return Decision{}, ErrNoCapacity
+		}
+		pl := &cluster.Placement{
+			Instance: fmt.Sprintf("%s/s%d", id, i), Func: req.Func,
+			Req: prof.SMReq, Lim: prof.SMLim, MemMB: prof.MemMB,
+		}
+		if err := g.Place(pl); err != nil {
+			d.Release()
+			return Decision{}, err
+		}
+		d.GPUs = append(d.GPUs, g)
+		d.Placements = append(d.Placements, pl)
+	}
+	return d, nil
+}
+
+// affinityGPUs computes 𝐺_WA: active GPUs hosting functions that already
+// collocate with req.Func elsewhere (replicating proven collocation
+// patterns, Figure 5(b)), excluding GPUs that already host req.Func
+// itself so instances of one function spread across fragments.
+func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
+	partners := make(map[string]bool)
+	for _, g := range s.clu.ActiveGPUs() {
+		if !g.HostsFunc(fn) {
+			continue
+		}
+		for f := range g.Funcs() {
+			if f != fn {
+				partners[f] = true
+			}
+		}
+	}
+	if len(partners) == 0 {
+		return nil
+	}
+	var out []*cluster.GPU
+	for _, g := range s.clu.ActiveGPUs() {
+		if g.HostsFunc(fn) {
+			continue
+		}
+		for f := range g.Funcs() {
+			if partners[f] {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// selectOptGPU is Algorithm 1's SelectOptGPU: the feasible candidate with
+// the minimum weighted fragmentation score. GPUs already hosting the
+// function are soft-penalized so replicas of one function spread over
+// fragments (same-function instances peak together, so stacking them
+// recreates the contention the affinity principle avoids).
+func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string) *cluster.GPU {
+	bestScore := 1e18
+	var best *cluster.GPU
+	for _, g := range cands {
+		newReq := g.SumReq + p.SMReq
+		newLim := g.SumLim + p.SMLim
+		newMem := g.MemUsedMB + p.MemMB
+		if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+			continue
+		}
+		if g.HostsFunc(fn) && p.Role == profiler.RoleTraining {
+			// DDP workers of one job never share a GPU: they would
+			// compute in lockstep and simply halve each other.
+			continue
+		}
+		score := s.opts.Alpha * (1 - newReq/1.0)
+		if !s.opts.DisableComplementary {
+			score += s.opts.Beta * (1 - newMem/g.MemCapMB)
+		}
+		if g.HostsFunc(fn) {
+			score += 0.5
+		}
+		if score < bestScore {
+			bestScore = score
+			best = g
+		}
+	}
+	return best
+}
+
+// freshGPU starts a new GPU instance (line 16): the first inactive GPU.
+func (s *Dilu) freshGPU() *cluster.GPU {
+	for _, g := range s.clu.GPUs() {
+		if !g.Active() {
+			return g
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+
+// Exclusive allocates one whole GPU per instance (pass-through), the
+// common scheme of ElasticFlow/Hydrozoa-style systems.
+type Exclusive struct {
+	clu *cluster.Cluster
+	seq int
+}
+
+// NewExclusive builds the baseline.
+func NewExclusive(clu *cluster.Cluster) *Exclusive { return &Exclusive{clu: clu} }
+
+// Name implements Scheduler.
+func (s *Exclusive) Name() string { return "Exclusive" }
+
+// Cluster implements Scheduler.
+func (s *Exclusive) Cluster() *cluster.Cluster { return s.clu }
+
+// Schedule implements Scheduler: every instance (and every stage of a
+// multi-GPU instance) occupies a dedicated GPU with full quotas.
+func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	var out []Decision
+	for k := 0; k < req.Instances; k++ {
+		s.seq++
+		d := Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		for i := 0; i < stages; i++ {
+			var g *cluster.GPU
+			for _, cand := range s.clu.GPUs() {
+				if !cand.Active() {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				d.Release()
+				for _, prev := range out {
+					prev.Release()
+				}
+				return nil, ErrNoCapacity
+			}
+			pl := &cluster.Placement{
+				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Req: 1, Lim: 1, MemMB: req.Profile.MemMB / float64(stages),
+				TrueReq: req.Profile.SMReq / float64(stages),
+			}
+			if err := g.Place(pl); err != nil {
+				d.Release()
+				return nil, err
+			}
+			d.GPUs = append(d.GPUs, g)
+			d.Placements = append(d.Placements, pl)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Static is the MPS-based scheduler shared by INFless+ and FaST-GS+:
+// fixed quotas (limit or request flavor), best-fit by SM, no
+// oversubscription (Σ quota ≤ 1, as MPS thread percentages cannot
+// exceed the device), no workload affinity, and no multi-GPU sharding —
+// LLM instances fall back to dedicated GPUs per stage.
+type Static struct {
+	label    string
+	useLimit bool
+	clu      *cluster.Cluster
+	seq      int
+}
+
+// NewINFlessL builds INFless+ with limit quotas.
+func NewINFlessL(clu *cluster.Cluster) *Static {
+	return &Static{label: "INFless+-l", useLimit: true, clu: clu}
+}
+
+// NewINFlessR builds INFless+ with request quotas.
+func NewINFlessR(clu *cluster.Cluster) *Static {
+	return &Static{label: "INFless+-r", useLimit: false, clu: clu}
+}
+
+// NewFaSTGS builds FaST-GS+ (spatially identical to MPS-l).
+func NewFaSTGS(clu *cluster.Cluster) *Static {
+	return &Static{label: "FaST-GS+", useLimit: true, clu: clu}
+}
+
+// Name implements Scheduler.
+func (s *Static) Name() string { return s.label }
+
+// Cluster implements Scheduler.
+func (s *Static) Cluster() *cluster.Cluster { return s.clu }
+
+func (s *Static) quota(p profiler.Profile) float64 {
+	if s.useLimit {
+		return p.SMLim
+	}
+	return p.SMReq
+}
+
+// shardProfile divides a whole-instance profile over pipeline stages.
+func shardProfile(p profiler.Profile, stages int) profiler.Profile {
+	if stages <= 1 {
+		return p
+	}
+	n := float64(stages)
+	p.SMReq /= n
+	p.SMLim /= n
+	p.MemMB /= n
+	return p
+}
+
+// Schedule implements Scheduler.
+func (s *Static) Schedule(req Request) ([]Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	prof := shardProfile(req.Profile, stages)
+	q := s.quota(prof)
+	var out []Decision
+	fail := func(err error) ([]Decision, error) {
+		for _, prev := range out {
+			prev.Release()
+		}
+		return nil, err
+	}
+	for k := 0; k < req.Instances; k++ {
+		s.seq++
+		d := Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		for i := 0; i < stages; i++ {
+			g := s.pick(q, prof.MemMB, stages > 1)
+			if g == nil {
+				d.Release()
+				return fail(ErrNoCapacity)
+			}
+			pl := &cluster.Placement{
+				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Req: q, Lim: q, MemMB: prof.MemMB,
+				TrueReq: prof.SMReq,
+			}
+			if err := g.Place(pl); err != nil {
+				d.Release()
+				return fail(err)
+			}
+			d.GPUs = append(d.GPUs, g)
+			d.Placements = append(d.Placements, pl)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
+	if wholeGPU {
+		for _, g := range s.clu.GPUs() {
+			if !g.Active() {
+				return g
+			}
+		}
+		return nil
+	}
+	// Best fit by SM occupancy among active GPUs.
+	var best *cluster.GPU
+	bestFree := 2.0
+	for _, g := range s.clu.ActiveGPUs() {
+		if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+			continue
+		}
+		free := 1 - g.SumReq
+		if free < bestFree {
+			bestFree = free
+			best = g
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, g := range s.clu.GPUs() {
+		if !g.Active() {
+			return g
+		}
+	}
+	return nil
+}

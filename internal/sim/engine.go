@@ -1,0 +1,165 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// on which every Dilu experiment runs. Simulated time is measured in
+// microseconds of virtual time; wall-clock time never enters results.
+//
+// The engine combines a classic event queue (one-shot callbacks at
+// arbitrary times) with fixed-period tickers, which is the natural shape
+// for Dilu: request arrivals and cold-start completions are events, while
+// the RCKM token cycle and GPU execution advance on a fixed 5 ms tick.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in microseconds since the start of a run.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration style but in virtual µs.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// TickPeriod is the RCKM token issuing period from the paper (5 ms).
+const TickPeriod = 5 * Millisecond
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a virtual time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to virtual time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func(Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Ticker is a component invoked on every fixed simulation tick, in
+// registration order. Tick receives the current virtual time.
+type Ticker interface {
+	Tick(now Time)
+}
+
+// TickerFunc adapts a plain function to the Ticker interface.
+type TickerFunc func(now Time)
+
+// Tick calls f(now).
+func (f TickerFunc) Tick(now Time) { f(now) }
+
+// Engine is a single-threaded deterministic simulator. It is not safe for
+// concurrent use; experiments that need parallelism run independent engines.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	tickers []Ticker
+	period  Duration
+	// nextTick is the time of the next pending fixed tick.
+	nextTick Time
+}
+
+// NewEngine returns an engine whose fixed tick period is TickPeriod (5 ms).
+func NewEngine() *Engine { return NewEngineWithPeriod(TickPeriod) }
+
+// NewEngineWithPeriod returns an engine with a custom fixed tick period.
+// Period must be positive.
+func NewEngineWithPeriod(period Duration) *Engine {
+	if period <= 0 {
+		panic("sim: tick period must be positive")
+	}
+	return &Engine{period: period, nextTick: period}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Period returns the fixed tick period.
+func (e *Engine) Period() Duration { return e.period }
+
+// AddTicker registers t to be invoked on every fixed tick.
+func (e *Engine) AddTicker(t Ticker) { e.tickers = append(e.tickers, t) }
+
+// Schedule registers fn to run at virtual time at. Events scheduled in the
+// past run at the current time, preserving submission order.
+func (e *Engine) Schedule(at Time, fn func(Time)) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d after the current virtual time.
+func (e *Engine) After(d Duration, fn func(Time)) { e.Schedule(e.now+d, fn) }
+
+// Pending reports the number of queued one-shot events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run advances virtual time until `until`, executing every due event and
+// fixed tick in deterministic order: all events at or before a tick boundary
+// run first, then the tick fires.
+func (e *Engine) Run(until Time) {
+	for e.now < until {
+		boundary := e.nextTick
+		if boundary > until {
+			boundary = until
+		}
+		// Drain events due at or before the boundary.
+		for len(e.events) > 0 && e.events[0].at <= boundary {
+			ev := heap.Pop(&e.events).(*event)
+			e.now = ev.at
+			ev.fn(e.now)
+		}
+		e.now = boundary
+		if boundary == e.nextTick {
+			for _, t := range e.tickers {
+				t.Tick(e.now)
+			}
+			e.nextTick += e.period
+		}
+	}
+}
+
+// Step advances exactly one fixed tick (running due events first) and
+// returns the new time. Useful in unit tests.
+func (e *Engine) Step() Time {
+	e.Run(e.nextTick)
+	return e.now
+}

@@ -1,0 +1,279 @@
+// Package workload generates the request arrival processes of the
+// paper's evaluation: Poisson and Gamma(CV) inter-arrival processes
+// (Figures 7, 8, 10), and Azure-Functions-like Bursty, Sporadic and
+// Periodic traces (Table 3, Figures 12, 15) synthesized from the shape
+// descriptions published with INFless and "Serverless in the Wild".
+//
+// Generators materialize the full arrival sequence for a run up front
+// from a seeded RNG, keeping every experiment deterministic.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"dilu/internal/sim"
+)
+
+// Arrivals produces a deterministic arrival-time sequence over a horizon.
+type Arrivals interface {
+	Name() string
+	// Generate returns strictly non-decreasing arrival times in [0, dur).
+	Generate(rng *sim.RNG, dur sim.Duration) []sim.Time
+}
+
+// Constant emits requests at an exact fixed rate (deterministic gaps).
+type Constant struct{ RPS float64 }
+
+// Name implements Arrivals.
+func (c Constant) Name() string { return "constant" }
+
+// Generate implements Arrivals.
+func (c Constant) Generate(_ *sim.RNG, dur sim.Duration) []sim.Time {
+	if c.RPS <= 0 {
+		return nil
+	}
+	gap := sim.FromSeconds(1 / c.RPS)
+	var out []sim.Time
+	for t := gap; t < dur; t += gap {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Poisson is a homogeneous Poisson arrival process.
+type Poisson struct{ RPS float64 }
+
+// Name implements Arrivals.
+func (p Poisson) Name() string { return "poisson" }
+
+// Generate implements Arrivals.
+func (p Poisson) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	if p.RPS <= 0 {
+		return nil
+	}
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		t += sim.FromSeconds(rng.Exp(p.RPS))
+		if t >= dur {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Gamma is a renewal process with Gamma-distributed inter-arrival gaps
+// parameterized by mean rate and coefficient of variation; CV=1 recovers
+// Poisson and larger CVs produce the fluctuating workloads of Figure 10
+// (FastServe-style).
+type Gamma struct {
+	RPS float64
+	CV  float64
+}
+
+// Name implements Arrivals.
+func (g Gamma) Name() string { return "gamma" }
+
+// Generate implements Arrivals.
+func (g Gamma) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	if g.RPS <= 0 {
+		return nil
+	}
+	meanGap := 1 / g.RPS
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		t += sim.FromSeconds(rng.GammaInterArrival(meanGap, g.CV))
+		if t >= dur {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// RateFunc is a non-homogeneous Poisson process whose instantaneous rate
+// is given by RPS(t). It is the building block for the Azure-style traces.
+type RateFunc struct {
+	Label string
+	RPS   func(t sim.Time) float64
+	Peak  float64 // an upper bound of RPS over the horizon, for thinning
+}
+
+// Name implements Arrivals.
+func (r RateFunc) Name() string { return r.Label }
+
+// Generate implements Arrivals via Lewis-Shedler thinning.
+func (r RateFunc) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	if r.Peak <= 0 {
+		return nil
+	}
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		t += sim.FromSeconds(rng.Exp(r.Peak))
+		if t >= dur {
+			return out
+		}
+		if rng.Float64() < r.RPS(t)/r.Peak {
+			out = append(out, t)
+		}
+	}
+}
+
+// Bursty synthesizes the Azure "Bursty" trace class: a low base rate with
+// sudden bursts of Scale× the base, each lasting BurstDur, spaced
+// Quiet apart on average. The paper's Figure 8(a) uses initial burst
+// scale factors of 4 and 6.
+type Bursty struct {
+	BaseRPS  float64
+	Scale    float64
+	BurstDur sim.Duration
+	Quiet    sim.Duration
+}
+
+// Name implements Arrivals.
+func (b Bursty) Name() string { return "bursty" }
+
+// Generate implements Arrivals.
+func (b Bursty) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	burstDur := b.BurstDur
+	if burstDur <= 0 {
+		burstDur = 20 * sim.Second
+	}
+	quiet := b.Quiet
+	if quiet <= 0 {
+		quiet = 60 * sim.Second
+	}
+	// Precompute burst windows.
+	type window struct{ start, end sim.Time }
+	var bursts []window
+	t := sim.Time(float64(quiet) * (0.5 + rng.Float64()))
+	for t < dur {
+		bursts = append(bursts, window{t, t + burstDur})
+		t += burstDur + sim.Time(float64(quiet)*(0.5+rng.Float64()))
+	}
+	rate := func(at sim.Time) float64 {
+		for _, w := range bursts {
+			if at >= w.start && at < w.end {
+				return b.BaseRPS * b.Scale
+			}
+		}
+		return b.BaseRPS
+	}
+	return RateFunc{Label: "bursty", RPS: rate, Peak: b.BaseRPS * b.Scale}.Generate(rng, dur)
+}
+
+// Periodic synthesizes the Azure "Periodic" trace class: a smooth
+// oscillation between trough and peak, modelling compressed diurnal load.
+type Periodic struct {
+	BaseRPS float64
+	Amp     float64 // peak = Base·(1+Amp), trough = Base·(1−Amp)
+	Period  sim.Duration
+}
+
+// Name implements Arrivals.
+func (p Periodic) Name() string { return "periodic" }
+
+// Generate implements Arrivals.
+func (p Periodic) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	period := p.Period
+	if period <= 0 {
+		period = 120 * sim.Second
+	}
+	amp := p.Amp
+	if amp <= 0 {
+		amp = 0.8
+	}
+	rate := func(at sim.Time) float64 {
+		phase := 2 * math.Pi * float64(at) / float64(period)
+		r := p.BaseRPS * (1 + amp*math.Sin(phase))
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+	return RateFunc{Label: "periodic", RPS: rate, Peak: p.BaseRPS * (1 + amp)}.Generate(rng, dur)
+}
+
+// Sporadic synthesizes the Azure "Sporadic" trace class: long idle
+// stretches with occasional short clusters of requests — the keep-alive
+// waste driver of Observation-3 (fewer than 85% of functions invoked per
+// minute; a keep-alive instance may see 3-4 requests in ~50 s).
+type Sporadic struct {
+	ClusterRPS float64      // rate inside a cluster
+	ClusterDur sim.Duration // cluster length
+	IdleMean   sim.Duration // mean idle gap between clusters
+}
+
+// Name implements Arrivals.
+func (s Sporadic) Name() string { return "sporadic" }
+
+// Generate implements Arrivals.
+func (s Sporadic) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	clusterDur := s.ClusterDur
+	if clusterDur <= 0 {
+		clusterDur = 10 * sim.Second
+	}
+	idle := s.IdleMean
+	if idle <= 0 {
+		idle = 90 * sim.Second
+	}
+	var out []sim.Time
+	t := sim.FromSeconds(rng.Exp(1 / idle.Seconds()))
+	for t < dur {
+		end := t + clusterDur
+		for t < end && t < dur {
+			t += sim.FromSeconds(rng.Exp(s.ClusterRPS))
+			if t < end && t < dur {
+				out = append(out, t)
+			}
+		}
+		t = end + sim.FromSeconds(rng.Exp(1/idle.Seconds()))
+	}
+	return out
+}
+
+// OfferedRPS buckets an arrival sequence into per-window request rates —
+// the signal plotted in the top panel of Figure 12 and consumed by the
+// global scaler's sliding window.
+func OfferedRPS(arrivals []sim.Time, window sim.Duration, dur sim.Duration) []float64 {
+	if window <= 0 {
+		return nil
+	}
+	n := int(dur / window)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, t := range arrivals {
+		i := int(t / window)
+		if i >= 0 && i < n {
+			out[i] += 1
+		}
+	}
+	scale := 1 / window.Seconds()
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// MeanRPS returns the average arrival rate over the horizon.
+func MeanRPS(arrivals []sim.Time, dur sim.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(len(arrivals)) / dur.Seconds()
+}
+
+// Merge combines multiple sorted arrival sequences into one sorted
+// sequence (for aggregate offered-load views).
+func Merge(seqs ...[]sim.Time) []sim.Time {
+	var out []sim.Time
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

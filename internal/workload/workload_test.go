@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dilu/internal/sim"
+)
+
+const testDur = 300 * sim.Second
+
+func sortedTimes(ts []sim.Time) bool {
+	return sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+func TestConstantRate(t *testing.T) {
+	arr := Constant{RPS: 10}.Generate(nil, 10*sim.Second)
+	if len(arr) != 99 { // gaps of 100ms starting at 100ms, ending before 10s
+		t.Fatalf("got %d arrivals, want 99", len(arr))
+	}
+	if !sortedTimes(arr) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestConstantZeroRPS(t *testing.T) {
+	if got := (Constant{RPS: 0}).Generate(nil, testDur); got != nil {
+		t.Fatal("zero RPS must be empty")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := sim.NewRNG(1)
+	arr := Poisson{RPS: 50}.Generate(rng, testDur)
+	got := MeanRPS(arr, testDur)
+	if math.Abs(got-50)/50 > 0.05 {
+		t.Fatalf("mean RPS = %v, want ~50", got)
+	}
+	if !sortedTimes(arr) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestGammaMeanRateAcrossCV(t *testing.T) {
+	for _, cv := range []float64{0.001, 1, 3, 6} {
+		rng := sim.NewRNG(2)
+		arr := Gamma{RPS: 40, CV: cv}.Generate(rng, testDur)
+		got := MeanRPS(arr, testDur)
+		if math.Abs(got-40)/40 > 0.08 {
+			t.Fatalf("cv=%v: mean RPS = %v, want ~40", cv, got)
+		}
+	}
+}
+
+func TestGammaCVControlsBurstiness(t *testing.T) {
+	// Higher CV must produce more variable per-second counts.
+	variance := func(cv float64) float64 {
+		rng := sim.NewRNG(3)
+		arr := Gamma{RPS: 40, CV: cv}.Generate(rng, testDur)
+		rates := OfferedRPS(arr, sim.Second, testDur)
+		var m, v float64
+		for _, r := range rates {
+			m += r
+		}
+		m /= float64(len(rates))
+		for _, r := range rates {
+			v += (r - m) * (r - m)
+		}
+		return v / float64(len(rates))
+	}
+	low, high := variance(0.5), variance(6)
+	if high < 2*low {
+		t.Fatalf("CV=6 variance (%v) should far exceed CV=0.5 (%v)", high, low)
+	}
+}
+
+func TestBurstyHasBursts(t *testing.T) {
+	rng := sim.NewRNG(4)
+	tr := Bursty{BaseRPS: 10, Scale: 6, BurstDur: 20 * sim.Second, Quiet: 60 * sim.Second}
+	arr := tr.Generate(rng, testDur)
+	rates := OfferedRPS(arr, 5*sim.Second, testDur)
+	var peak, trough float64 = 0, math.Inf(1)
+	for _, r := range rates {
+		if r > peak {
+			peak = r
+		}
+		if r < trough {
+			trough = r
+		}
+	}
+	if peak < 35 {
+		t.Fatalf("peak rate %v too low for scale-6 bursts on base 10", peak)
+	}
+	if trough > 25 {
+		t.Fatalf("trough rate %v too high — no quiet periods", trough)
+	}
+}
+
+func TestPeriodicOscillates(t *testing.T) {
+	rng := sim.NewRNG(5)
+	tr := Periodic{BaseRPS: 30, Amp: 0.8, Period: 60 * sim.Second}
+	arr := tr.Generate(rng, testDur)
+	rates := OfferedRPS(arr, 10*sim.Second, testDur)
+	var peak, trough float64 = 0, math.Inf(1)
+	for _, r := range rates {
+		if r > peak {
+			peak = r
+		}
+		if r < trough {
+			trough = r
+		}
+	}
+	if peak < 40 || trough > 20 {
+		t.Fatalf("periodic should swing: peak=%v trough=%v", peak, trough)
+	}
+	got := MeanRPS(arr, testDur)
+	if math.Abs(got-30)/30 > 0.15 {
+		t.Fatalf("mean = %v, want ~30", got)
+	}
+}
+
+func TestSporadicMostlyIdle(t *testing.T) {
+	rng := sim.NewRNG(6)
+	tr := Sporadic{ClusterRPS: 5, ClusterDur: 10 * sim.Second, IdleMean: 90 * sim.Second}
+	arr := tr.Generate(rng, 600*sim.Second)
+	rates := OfferedRPS(arr, sim.Second, 600*sim.Second)
+	idle := 0
+	for _, r := range rates {
+		if r == 0 {
+			idle++
+		}
+	}
+	if frac := float64(idle) / float64(len(rates)); frac < 0.5 {
+		t.Fatalf("sporadic trace should be mostly idle, idle frac = %v", frac)
+	}
+	if len(arr) == 0 {
+		t.Fatal("sporadic trace should still contain requests")
+	}
+}
+
+func TestOfferedRPSSumsToArrivals(t *testing.T) {
+	rng := sim.NewRNG(7)
+	arr := Poisson{RPS: 20}.Generate(rng, testDur)
+	rates := OfferedRPS(arr, sim.Second, testDur)
+	var total float64
+	for _, r := range rates {
+		total += r // 1-second windows: rate == count
+	}
+	if int(total+0.5) != len(arr) {
+		t.Fatalf("rates sum %v != %d arrivals", total, len(arr))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []sim.Time{1, 5, 9}
+	b := []sim.Time{2, 3, 10}
+	m := Merge(a, b)
+	if len(m) != 6 || !sortedTimes(m) {
+		t.Fatalf("merge = %v", m)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gens := []Arrivals{
+		Poisson{RPS: 25},
+		Gamma{RPS: 25, CV: 4},
+		Bursty{BaseRPS: 10, Scale: 4},
+		Periodic{BaseRPS: 20},
+		Sporadic{ClusterRPS: 5},
+	}
+	for _, g := range gens {
+		a := g.Generate(sim.NewRNG(42), testDur)
+		b := g.Generate(sim.NewRNG(42), testDur)
+		if len(a) != len(b) {
+			t.Fatalf("%s: non-deterministic length", g.Name())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: non-deterministic at %d", g.Name(), i)
+			}
+		}
+	}
+}
+
+// Property: all generators produce sorted arrivals within the horizon.
+func TestGeneratorsSortedBoundedProperty(t *testing.T) {
+	f := func(seed int64, which uint8, rps uint8) bool {
+		r := float64(rps%50) + 1
+		var g Arrivals
+		switch which % 5 {
+		case 0:
+			g = Poisson{RPS: r}
+		case 1:
+			g = Gamma{RPS: r, CV: 3}
+		case 2:
+			g = Bursty{BaseRPS: r, Scale: 4}
+		case 3:
+			g = Periodic{BaseRPS: r}
+		default:
+			g = Sporadic{ClusterRPS: r}
+		}
+		arr := g.Generate(sim.NewRNG(seed), 60*sim.Second)
+		if !sortedTimes(arr) {
+			return false
+		}
+		for _, a := range arr {
+			if a < 0 || a >= 60*sim.Second {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
