@@ -1,0 +1,29 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# the same gates the push/PR workflow enforces.
+
+GO ?= go
+
+.PHONY: build test test-short bench vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build vet fmt-check test-short

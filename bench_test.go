@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"dilu/internal/experiments"
+	"dilu/internal/harness"
 	"dilu/internal/model"
 	"dilu/internal/profiler"
 )
@@ -133,3 +134,24 @@ func BenchmarkTrainingProfiler(b *testing.B) {
 // ablation table (not a paper artifact; quantifies the interpretation
 // choices against literal Algorithm 2).
 func BenchmarkControllerAblation(b *testing.B) { runExperiment(b, "ablation-controller") }
+
+// benchSuite drains the quick-tier drivers through the harness worker
+// pool at the given parallelism; comparing the serial and all-core
+// variants measures the suite-level speedup the harness buys.
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	drivers := experiments.ByTier(experiments.TierQuick)
+	jobs := harness.Jobs(drivers, nil, 0.1)
+	for i := 0; i < b.N; i++ {
+		out := harness.Run(harness.Config{Suite: "bench", Parallel: parallel}, jobs)
+		if out.Failed() {
+			b.Fatalf("suite failed: %s", out.Manifest.JSON())
+		}
+	}
+}
+
+// BenchmarkSuiteQuickSerial runs the quick-tier suite on one worker.
+func BenchmarkSuiteQuickSerial(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteQuickParallel runs the quick-tier suite on all cores.
+func BenchmarkSuiteQuickParallel(b *testing.B) { benchSuite(b, 0) }

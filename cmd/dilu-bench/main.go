@@ -1,66 +1,289 @@
 // Command dilu-bench regenerates the paper's evaluation tables and
-// figures. Without arguments it runs every experiment; pass experiment
-// ids (e.g. "table2 figure7") to run a subset.
+// figures through the parallel experiment harness. Without arguments it
+// runs every experiment; pass experiment ids (e.g. "table2 figure7") to
+// run a subset.
 //
-//	dilu-bench -scale 1.0            # full-length runs (EXPERIMENTS.md)
-//	dilu-bench -scale 0.25 figure10  # quick look at one artifact
+//	dilu-bench -scale 1.0                 # full-length runs (EXPERIMENTS.md)
+//	dilu-bench -scale 0.25 figure10       # quick look at one artifact
+//	dilu-bench -parallel 8                # drain the suite on 8 workers
+//	dilu-bench -tier quick                # sub-second smoke subset
+//	dilu-bench -seeds 1,2,3 figure9       # multi-seed sweep of one driver
+//	dilu-bench -out results -manifest results/manifest.json
 //	dilu-bench -list
+//
+// Progress lines go to stderr; reports and the timing summary go to
+// stdout (or to -out when set). The manifest is deterministic for a
+// given driver set, seeds, and scale — identical bytes regardless of
+// -parallel — and records a fingerprint per run so reproducibility is
+// checkable with a diff.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"dilu/internal/experiments"
+	"dilu/internal/harness"
+	"dilu/internal/report"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment duration scale (1.0 = full runs)")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
+	seeds := flag.String("seeds", "", "comma-separated seed sweep (overrides -seed), e.g. 1,2,3")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-driver wall-clock timeout (0 = none), e.g. 5m")
+	failFast := flag.Bool("failfast", false, "stop dispatching after the first failure")
+	tier := flag.String("tier", "", "run only these cost tiers (comma-separated: quick,standard,slow)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	format := flag.String("format", "text", "output format: text, csv, json")
+	format := flag.String("format", "text", "report format: text, csv, json")
+	outDir := flag.String("out", "", "write per-run reports and the manifest into this directory")
+	manifestPath := flag.String("manifest", "", "write the suite manifest JSON to this path")
+	quiet := flag.Bool("q", false, "suppress live progress lines")
 	flag.Parse()
 
 	if *list {
 		for _, d := range experiments.All() {
-			fmt.Printf("%-12s %s\n", d.ID, d.Paper)
+			fmt.Printf("%-12s %-9s %s\n", d.ID, d.Tier, d.Paper)
 		}
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	// Validate everything before running: a typo must not cost the user
+	// a full suite run (bad format/ids/seeds), and a bad output path
+	// must fail in milliseconds, not after the suite finishes.
+	if _, ok := formats[*format]; !ok {
+		fmt.Fprintf(os.Stderr, "dilu-bench: unknown format %q (valid: text, csv, json)\n", *format)
+		os.Exit(2)
+	}
+	drivers, err := selectDrivers(flag.Args(), *tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	seedList, err := parseSeeds(*seeds, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Resolve the defaulted manifest path up front so the probe covers
+	// the common `-out dir` usage too; probing comes after every other
+	// validation so a typo'd argument never touches existing outputs.
+	mpath := *manifestPath
+	if *outDir != "" && mpath == "" {
+		mpath = filepath.Join(*outDir, "manifest.json")
+	}
+	if err := prepareOutputs(*outDir, mpath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	jobs := harness.Jobs(drivers, seedList, *scale)
+	cfg := harness.Config{
+		Suite:    "dilu-bench",
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		FailFast: *failFast,
+	}
+	if !*quiet {
+		cfg.OnEvent = progressPrinter()
+	}
+
+	outcome := harness.Run(cfg, jobs)
+
+	if err := emit(outcome, *format, *outDir, mpath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	summarize(outcome)
+	if outcome.Failed() {
+		os.Exit(1)
+	}
+}
+
+// selectDrivers resolves positional ids and the tier filter into the run
+// set, preserving registry (paper) order. Naming a driver that the tier
+// filter excludes is an error — a silent partial drop would let the user
+// read the resulting manifest as covering a run that never happened.
+func selectDrivers(ids []string, tierFlag string) ([]experiments.Driver, error) {
+	var tiers []experiments.Tier
+	if tierFlag != "" {
+		for _, s := range strings.Split(tierFlag, ",") {
+			t := experiments.Tier(strings.TrimSpace(s))
+			if !t.Valid() {
+				return nil, fmt.Errorf("dilu-bench: unknown tier %q (valid: quick, standard, slow)", s)
+			}
+			tiers = append(tiers, t)
+		}
+	}
+	if len(ids) == 0 {
+		if tiers == nil {
+			return experiments.All(), nil
+		}
+		drivers := experiments.ByTier(tiers...)
+		if len(drivers) == 0 {
+			return nil, fmt.Errorf("dilu-bench: no drivers match tier filter %q", tierFlag)
+		}
+		return drivers, nil
+	}
+	inTier := map[string]bool{}
+	for _, d := range experiments.ByTier(tiers...) {
+		inTier[d.ID] = true
+	}
 	var drivers []experiments.Driver
-	if flag.NArg() == 0 {
-		drivers = experiments.All()
-	} else {
-		for _, id := range flag.Args() {
-			d, err := experiments.ByID(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			drivers = append(drivers, d)
+	for _, id := range ids {
+		d, err := experiments.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		if tiers != nil && !inTier[d.ID] {
+			return nil, fmt.Errorf("dilu-bench: %s is %s tier, excluded by -tier %s", d.ID, d.Tier, tierFlag)
+		}
+		drivers = append(drivers, d)
+	}
+	return drivers, nil
+}
+
+func parseSeeds(sweep string, single int64) ([]int64, error) {
+	if sweep == "" {
+		return []int64{single}, nil
+	}
+	var out []int64
+	for _, s := range strings.Split(sweep, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dilu-bench: bad seed %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// progressPrinter emits one live line per job completion to stderr.
+func progressPrinter() func(harness.Event) {
+	return func(ev harness.Event) {
+		if ev.Type != harness.JobDone || ev.Result == nil {
+			return
+		}
+		r := ev.Result
+		line := fmt.Sprintf("[%d/%d] %-28s %-7s %6.1fs wall",
+			ev.Done, ev.Total, r.Job.Key(), r.Status, r.Wall.Seconds())
+		if r.Status == report.RunOK && r.Wall > 0 {
+			line += fmt.Sprintf("  %8.0fs virtual (%.0f× real-time)",
+				r.Virtual.Seconds(), r.Virtual.Seconds()/r.Wall.Seconds())
+		}
+		if r.Err != nil {
+			line += "  " + r.Err.Error()
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// prepareOutputs creates -out and probes that the manifest's directory
+// is writable before the suite runs, so a bad path fails in
+// milliseconds instead of discarding a finished run. The probe never
+// touches an existing manifest — a later validation failure or Ctrl-C
+// must not destroy the previous good one.
+func prepareOutputs(outDir, manifestPath string) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("dilu-bench: cannot create -out: %w", err)
 		}
 	}
-	for _, d := range drivers {
-		start := time.Now()
-		rep := d.Run(opts)
-		switch *format {
-		case "csv":
-			if err := rep.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		case "json":
-			if err := rep.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		default:
-			fmt.Println(rep.String())
-			fmt.Printf("[%s completed in %.1fs wall time]\n\n", d.ID, time.Since(start).Seconds())
+	if manifestPath != "" {
+		if fi, err := os.Stat(manifestPath); err == nil && fi.IsDir() {
+			return fmt.Errorf("dilu-bench: -manifest %s is a directory", manifestPath)
+		}
+		probe, err := os.CreateTemp(filepath.Dir(manifestPath), ".dilu-bench-probe-*")
+		if err != nil {
+			return fmt.Errorf("dilu-bench: cannot write -manifest: %w", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	return nil
+}
+
+// emit writes reports (stdout or -out files) and the manifest.
+func emit(outcome *harness.Outcome, format, outDir, manifestPath string) error {
+	f := formats[format]
+	for _, res := range outcome.Results {
+		if res.Status != report.RunOK {
+			continue
+		}
+		body := f.render(res.Report)
+		if outDir == "" {
+			fmt.Print(body)
+			fmt.Println()
+			continue
+		}
+		name := strings.NewReplacer("/", "-", "=", "").Replace(res.Job.Key()) + f.ext
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(body), 0o644); err != nil {
+			return err
 		}
 	}
+	if outDir != "" {
+		timing := outcome.Manifest.TimingTable().String()
+		if err := os.WriteFile(filepath.Join(outDir, "timings.txt"), []byte(timing), 0o644); err != nil {
+			return err
+		}
+	}
+	if manifestPath != "" {
+		// Temp-and-rename keeps the previous manifest intact until the
+		// new one is fully written.
+		tmp, err := os.CreateTemp(filepath.Dir(manifestPath), ".dilu-bench-manifest-*")
+		if err != nil {
+			return err
+		}
+		werr := outcome.Manifest.WriteJSON(tmp)
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), manifestPath)
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return werr
+		}
+	}
+	return nil
+}
+
+// formats is the single source of truth for -format: renderer + file
+// extension. Adding a format means adding one entry here.
+var formats = map[string]struct {
+	render func(*report.Report) string
+	ext    string
+}{
+	"text": {func(r *report.Report) string { return r.String() }, ".txt"},
+	"csv":  {(*report.Report).CSV, ".csv"},
+	"json": {(*report.Report).JSON, ".json"},
+}
+
+// summarize prints the suite roll-up and timing table to stderr, plus
+// every non-ok run's error — unconditionally, so -q never swallows the
+// reason behind a non-zero exit.
+func summarize(outcome *harness.Outcome) {
+	t := outcome.Manifest.Totals
+	var virtual, busy float64
+	for _, r := range outcome.Results {
+		virtual += r.Virtual.Seconds()
+		busy += r.Wall.Seconds()
+		if r.Status != report.RunOK && r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", r.Job.Key(), r.Status, r.Err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n%s\n", outcome.Manifest.TimingTable().String())
+	fmt.Fprintf(os.Stderr,
+		"suite: %d runs (%d ok, %d failed, %d timeout, %d skipped) in %.1fs wall; %.0fs virtual simulated (%.1f× real-time, %.1fx worker occupancy)\n",
+		t.Runs, t.OK, t.Failed, t.Timeout, t.Skipped,
+		outcome.Wall.Seconds(), virtual,
+		virtual/max(outcome.Wall.Seconds(), 1e-9),
+		busy/max(outcome.Wall.Seconds(), 1e-9))
 }

@@ -1,0 +1,3 @@
+module dilu
+
+go 1.24

@@ -41,6 +41,9 @@ type Config struct {
 	NewScaler func() scaler.Policy
 	// Seed drives all randomness.
 	Seed int64
+	// Meter, when non-nil, observes the engine's virtual-time progress
+	// (harness throughput accounting). It never affects behaviour.
+	Meter *sim.Meter
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +106,9 @@ func NewSystem(cfg Config) (*System, error) {
 		rng:       sim.NewRNG(cfg.Seed),
 		mgrByGPU:  make(map[*cluster.GPU]*rckm.Manager),
 		GPUSeries: metrics.NewSeries("occupied-gpus"),
+	}
+	if cfg.Meter != nil {
+		sys.Eng.SetMeter(cfg.Meter)
 	}
 	switch cfg.Scheduler {
 	case "Dilu":

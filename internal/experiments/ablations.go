@@ -35,6 +35,7 @@ func ControllerAblation(opts Options) *report.Report {
 	for _, v := range variants {
 		sys := core.MustSystem(core.Config{
 			Nodes: 1, GPUsPerNode: 1, Policy: "Dilu", Seed: opts.Seed, RCKM: v.cfg,
+			Meter: opts.Meter,
 		})
 		tj, err := sys.DeployTraining("t", "BERT-base", core.TrainOpts{Workers: 1, Pin: []int{0}})
 		if err != nil {

@@ -33,14 +33,14 @@ var figure7Cases = []collocCase{
 
 // runColloc executes one collocation case under one baseline and returns
 // the inference recorder, training throughput, and GPUs used.
-func runColloc(c collocCase, baseline string, arr workload.Arrivals, dur sim.Duration, seed int64) (rec *metrics.LatencyRecorder, trainThr float64, gpus int) {
+func runColloc(c collocCase, baseline string, arr workload.Arrivals, dur sim.Duration, opts Options) (rec *metrics.LatencyRecorder, trainThr float64, gpus int) {
 	pin := make([]int, c.gpus)
 	for i := range pin {
 		pin[i] = i
 	}
 	if baseline == "Exclusive" {
 		// Inference and training on dedicated GPUs.
-		sys := systemFor("Exclusive", 1, c.gpus+c.trainWork, seed)
+		sys := systemFor("Exclusive", 1, c.gpus+c.trainWork, opts)
 		tj, err := sys.DeployTraining(c.trainModel+"-t", c.trainModel, core.TrainOpts{
 			Workers: c.trainWork, Pin: seqInts(c.gpus, c.trainWork),
 		})
@@ -57,7 +57,7 @@ func runColloc(c collocCase, baseline string, arr workload.Arrivals, dur sim.Dur
 		sys.Run(dur)
 		return f.Rec, tj.Throughput(sys.Eng.Now()), sys.Clu.OccupiedCount()
 	}
-	sys := systemFor(baseline, 1, c.gpus, seed)
+	sys := systemFor(baseline, 1, c.gpus, opts)
 	tj, err := sys.DeployTraining(c.trainModel+"-t", c.trainModel, core.TrainOpts{
 		Workers: c.trainWork, Pin: seqInts(0, c.trainWork),
 	})
@@ -100,7 +100,7 @@ func Figure7(opts Options) *report.Report {
 		var exclThr float64
 		for _, b := range gpuBaselines {
 			arr := workload.Poisson{RPS: c.infRPS}
-			rec, tthr, gpus := runColloc(c, b, arr, dur, opts.Seed)
+			rec, tthr, gpus := runColloc(c, b, arr, dur, opts)
 			if b == "Exclusive" {
 				exclThr = tthr
 			}
@@ -132,9 +132,9 @@ var figure8Cases = []infPair{
 	{label: "LLaMA2 + ChatGLM3 (4frag)", a: "LLaMA2-7B", b: "ChatGLM3-6B", rpsA: 3, rpsB: 3, burstA: 1, burstB: 1, scale: 4, stages: 4, gpuCount: 4},
 }
 
-func runInfPair(c infPair, baseline string, arrA, arrB workload.Arrivals, dur sim.Duration, seed int64) (ra, rb *metrics.LatencyRecorder) {
+func runInfPair(c infPair, baseline string, arrA, arrB workload.Arrivals, dur sim.Duration, opts Options) (ra, rb *metrics.LatencyRecorder) {
 	if baseline == "Exclusive" {
-		sys := systemFor("Exclusive", 1, 2*c.gpuCount, seed)
+		sys := systemFor("Exclusive", 1, 2*c.gpuCount, opts)
 		fa, err := sys.DeployInference(c.a+"-a", c.a, core.InferOpts{Stages: 1, Pin: []int{0}, Arrivals: arrA})
 		if err != nil {
 			panic(err)
@@ -146,7 +146,7 @@ func runInfPair(c infPair, baseline string, arrA, arrB workload.Arrivals, dur si
 		sys.Run(dur)
 		return fa.Rec, fb.Rec
 	}
-	sys := systemFor(baseline, 1, c.gpuCount, seed)
+	sys := systemFor(baseline, 1, c.gpuCount, opts)
 	pin := seqInts(0, c.gpuCount)
 	stA, stB := c.stages, c.stages
 	fa, err := sys.DeployInference(c.a+"-a", c.a, core.InferOpts{Stages: stA, Pin: pin[:boundStages(stA, c.gpuCount)], Arrivals: arrA})
@@ -184,13 +184,13 @@ func Figure8(opts Options) *report.Report {
 		for _, b := range gpuBaselines {
 			ba := workload.Bursty{BaseRPS: c.burstA, Scale: c.scale, BurstDur: 15 * sim.Second, Quiet: 45 * sim.Second}
 			bb := workload.Bursty{BaseRPS: c.burstB, Scale: c.scale, BurstDur: 15 * sim.Second, Quiet: 45 * sim.Second}
-			ra, rb := runInfPair(c, b, ba, bb, dur, opts.Seed)
+			ra, rb := runInfPair(c, b, ba, bb, dur, opts)
 			burst.AddRow(b,
 				(ra.P50().Millis()+rb.P50().Millis())/2,
 				(ra.P95().Millis()+rb.P95().Millis())/2,
 				(ra.ViolationRate()+rb.ViolationRate())/2*100)
 
-			ra, rb = runInfPair(c, b, workload.Poisson{RPS: c.rpsA}, workload.Poisson{RPS: c.rpsB}, dur, opts.Seed)
+			ra, rb = runInfPair(c, b, workload.Poisson{RPS: c.rpsA}, workload.Poisson{RPS: c.rpsB}, dur, opts)
 			pois.AddRow(b,
 				(ra.P50().Millis()+rb.P50().Millis())/2,
 				(ra.P95().Millis()+rb.P95().Millis())/2,
@@ -219,7 +219,7 @@ func Figure9(opts Options) *report.Report {
 	for _, pair := range pairs {
 		row := []interface{}{pair[0] + " + " + pair[1]}
 		for _, b := range []string{"Dilu", "MPS-l", "MPS-r", "TGS"} {
-			sys := systemFor(b, 1, 1, opts.Seed)
+			sys := systemFor(b, 1, 1, opts)
 			a, err := sys.DeployTraining("a", pair[0], core.TrainOpts{Workers: 1, Pin: []int{0}})
 			if err != nil {
 				panic(err)
@@ -267,7 +267,7 @@ func Figure10(opts Options) *report.Report {
 				arr := workload.Gamma{RPS: c.rps, CV: cv}
 				var rec *metrics.LatencyRecorder
 				if b == "Exclusive" {
-					sys := systemFor("Exclusive", 1, 2, opts.Seed)
+					sys := systemFor("Exclusive", 1, 2, opts)
 					_, err := sys.DeployTraining("t", c.trainModel, core.TrainOpts{Workers: 1, Pin: []int{1}})
 					if err != nil {
 						panic(err)
@@ -279,7 +279,7 @@ func Figure10(opts Options) *report.Report {
 					sys.Run(dur)
 					rec = f.Rec
 				} else {
-					sys := systemFor(b, 1, 1, opts.Seed)
+					sys := systemFor(b, 1, 1, opts)
 					_, err := sys.DeployTraining("t", c.trainModel, core.TrainOpts{Workers: 1, Pin: []int{0}})
 					if err != nil {
 						panic(err)
@@ -312,7 +312,7 @@ func Figure11(opts Options) *report.Report {
 	full := 1.0
 	for _, name := range []string{"BERT-base", "RoBERTa-large", "GPT2-large", "LLaMA2-7B"} {
 		run := func(policy string) float64 {
-			sys := systemFor(policy, 1, 1, opts.Seed)
+			sys := systemFor(policy, 1, 1, opts)
 			p := trainFullProfile(name)
 			tj, err := sys.DeployTraining("t", name, core.TrainOpts{Workers: 1, Pin: []int{0}, Profile: &p})
 			if err != nil {
@@ -331,7 +331,7 @@ func Figure11(opts Options) *report.Report {
 		"# instances", "without Dilu", "with Dilu", "normalized"))
 	for _, n := range []int{1, 2, 4, 8} {
 		run := func(policy string) float64 {
-			sys := systemFor(policy, 1, 1, opts.Seed)
+			sys := systemFor(policy, 1, 1, opts)
 			var first *core.Function
 			for i := 0; i < n; i++ {
 				// Equal shares isolate management overhead from quota

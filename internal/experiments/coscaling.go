@@ -14,7 +14,7 @@ import (
 func Figure12(opts Options) *report.Report {
 	opts = opts.withDefaults()
 	rep := report.New("figure12", "Co-scaling trace analysis (Figure 12)")
-	sys := mustClusterSystem("Dilu", 2, 4, opts.Seed)
+	sys := mustClusterSystem("Dilu", 2, 4, opts)
 	dur := opts.dur(600 * sim.Second)
 	f, err := sys.DeployInference("rob", "RoBERTa-large", core.InferOpts{
 		Instances: 1,
@@ -99,7 +99,7 @@ func Table3(opts Options) *report.Report {
 		}
 		results := map[string]result{}
 		for _, sysName := range systems {
-			sys := mustClusterSystem(sysName, 2, 4, opts.Seed)
+			sys := mustClusterSystem(sysName, 2, 4, opts)
 			// Background training tenants make the cluster multi-tenant:
 			// the co-scaling headroom has to be borrowed from collocated
 			// jobs, which is where static partitions fall behind.

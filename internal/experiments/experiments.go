@@ -22,6 +22,10 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness; 0 means 1.
 	Seed int64
+	// Meter, when non-nil, observes every engine the driver spins up
+	// (virtual time advanced, engine count). The harness attaches one
+	// meter per run for throughput accounting; it never affects results.
+	Meter *sim.Meter
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +40,12 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Normalized returns the options every driver actually runs with —
+// seed and scale clamped to their valid ranges. The harness keys
+// manifest records by normalized values so the record never misstates
+// the parameters of the run.
+func (o Options) Normalized() Options { return o.withDefaults() }
 
 // Quick returns benchmark-friendly options (short runs).
 func Quick() Options { return Options{Scale: 0.25} }
@@ -56,8 +66,9 @@ var gpuBaselines = []string{"Exclusive", "Dilu", "MPS-l", "MPS-r", "TGS", "FaST-
 
 // systemFor builds a system variant for GPU-level collocation
 // experiments (placements are pinned, so only the token policy differs).
-func systemFor(policy string, nodes, gpusPerNode int, seed int64) *core.System {
-	cfg := core.Config{Nodes: nodes, GPUsPerNode: gpusPerNode, Seed: seed}
+// Seed and meter come from the run options.
+func systemFor(policy string, nodes, gpusPerNode int, o Options) *core.System {
+	cfg := core.Config{Nodes: nodes, GPUsPerNode: gpusPerNode, Seed: o.Seed, Meter: o.Meter}
 	switch policy {
 	case "Exclusive":
 		cfg.Policy = "Exclusive"
@@ -70,8 +81,8 @@ func systemFor(policy string, nodes, gpusPerNode int, seed int64) *core.System {
 }
 
 // clusterSystem builds a cluster-level system by evaluation label.
-func clusterSystem(label string, nodes, gpusPerNode int, seed int64, maxTokens float64) (*core.System, error) {
-	cfg := core.Config{Nodes: nodes, GPUsPerNode: gpusPerNode, Seed: seed}
+func clusterSystem(label string, nodes, gpusPerNode int, o Options, maxTokens float64) (*core.System, error) {
+	cfg := core.Config{Nodes: nodes, GPUsPerNode: gpusPerNode, Seed: o.Seed, Meter: o.Meter}
 	cfg.RCKM = rckm.Config{MaxTokens: maxTokens}
 	switch label {
 	case "Dilu":
@@ -106,8 +117,8 @@ func clusterSystem(label string, nodes, gpusPerNode int, seed int64, maxTokens f
 	return core.NewSystem(cfg)
 }
 
-func mustClusterSystem(label string, nodes, gpusPerNode int, seed int64) *core.System {
-	sys, err := clusterSystem(label, nodes, gpusPerNode, seed, 0)
+func mustClusterSystem(label string, nodes, gpusPerNode int, o Options) *core.System {
+	sys, err := clusterSystem(label, nodes, gpusPerNode, o, 0)
 	if err != nil {
 		panic(err)
 	}

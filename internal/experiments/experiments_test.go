@@ -13,6 +13,50 @@ import (
 // full driver structure.
 func testOpts() Options { return Options{Scale: 0.1, Seed: 1} }
 
+// skipSlowTier skips the test under `go test -short` when any of the
+// named drivers is in the slow cost tier. Gating through the registry
+// keeps the short suite in sync with driver metadata: promoting a driver
+// to TierSlow automatically pulls its tests out of the short tier.
+func skipSlowTier(t *testing.T, ids ...string) {
+	t.Helper()
+	if !testing.Short() {
+		return
+	}
+	for _, id := range ids {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Tier == TierSlow {
+			t.Skipf("skipping in -short mode: driver %s is %s tier", id, d.Tier)
+		}
+	}
+}
+
+func TestEveryDriverDeclaresATier(t *testing.T) {
+	counts := map[Tier]int{}
+	for _, d := range All() {
+		if !d.Tier.Valid() {
+			t.Fatalf("driver %s has invalid tier %q", d.ID, d.Tier)
+		}
+		counts[d.Tier]++
+	}
+	for _, tier := range Tiers() {
+		if counts[tier] == 0 {
+			t.Fatalf("no driver declares tier %s — registry metadata degenerate", tier)
+		}
+	}
+	if got := len(ByTier(Tiers()...)); got != len(All()) {
+		t.Fatalf("ByTier(all tiers) = %d drivers, want %d", got, len(All()))
+	}
+	quick := ByTier(TierQuick)
+	for _, d := range quick {
+		if d.Tier != TierQuick {
+			t.Fatalf("ByTier(quick) returned %s driver %s", d.Tier, d.ID)
+		}
+	}
+}
+
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	all := All()
 	if len(all) != 18 {
@@ -151,6 +195,7 @@ func TestFigure17Shape(t *testing.T) {
 }
 
 func TestFigure18OversubscriptionDiminishes(t *testing.T) {
+	skipSlowTier(t, "figure18")
 	rep := Figure18(testOpts())
 	a := rep.Table("Figure 18(a).")
 	if a == nil {
@@ -170,6 +215,7 @@ func TestFigure18OversubscriptionDiminishes(t *testing.T) {
 }
 
 func TestFigure18MaxTokensUShape(t *testing.T) {
+	skipSlowTier(t, "figure18")
 	rep := Figure18(testOpts())
 	b := rep.Table("Figure 18(b).")
 	if b == nil {
@@ -232,7 +278,7 @@ func TestFigure11OverheadNegligible(t *testing.T) {
 func TestSystemForVariants(t *testing.T) {
 	for _, label := range []string{"Dilu", "Dilu-RC", "Dilu-WA", "Dilu-VS",
 		"Exclusive", "INFless+", "INFless+-l", "INFless+-r", "FaST-GS+"} {
-		sys, err := clusterSystem(label, 1, 2, 1, 0)
+		sys, err := clusterSystem(label, 1, 2, Options{Seed: 1}, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
@@ -240,7 +286,7 @@ func TestSystemForVariants(t *testing.T) {
 			t.Fatalf("%s: nil system", label)
 		}
 	}
-	if _, err := clusterSystem("bogus", 1, 2, 1, 0); err == nil {
+	if _, err := clusterSystem("bogus", 1, 2, Options{Seed: 1}, 0); err == nil {
 		t.Fatal("bogus label accepted")
 	}
 }

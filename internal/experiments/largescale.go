@@ -154,6 +154,7 @@ func Figure17(opts Options) *report.Report {
 	var exclusiveGPUh float64
 	for _, name := range order {
 		occ, stats, gpuSeconds := runLargeScale(scheds[name], mix, horizon)
+		opts.Meter.AddVirtual(horizon)
 		gpuH := gpuSeconds / 3600
 		if name == "Exclusive" {
 			exclusiveGPUh = gpuH
@@ -182,6 +183,7 @@ func Figure18(opts Options) *report.Report {
 		occ, stats, _ := runLargeScale(func(c *cluster.Cluster) sched.Scheduler {
 			return sched.NewDilu(c, sched.Options{Gamma: g})
 		}, mix, horizon)
+		opts.Meter.AddVirtual(horizon)
 		a.AddRow(fmt.Sprintf("%.2f", gamma), occ.Max(), stats.SMFrag, stats.MemFrag)
 	}
 
@@ -193,7 +195,8 @@ func Figure18(opts Options) *report.Report {
 	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
 		cfg := core.Config{
 			Nodes: 1, GPUsPerNode: 1, Policy: "Dilu", Seed: opts.Seed,
-			RCKM: rckm.Config{MaxTokens: mult * 5000},
+			RCKM:  rckm.Config{MaxTokens: mult * 5000},
+			Meter: opts.Meter,
 		}
 		sys := core.MustSystem(cfg)
 		tj, err := sys.DeployTraining("t", "BERT-base", core.TrainOpts{Workers: 1, Pin: []int{0}})

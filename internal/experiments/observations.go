@@ -20,7 +20,7 @@ func Figure2(opts Options) *report.Report {
 	// Observation-1: INFless-style static allocation for RoBERTa-large
 	// under low load: the quota is pinned while utilization idles.
 	{
-		sys := systemFor("MPS-r", 1, 1, opts.Seed)
+		sys := systemFor("MPS-r", 1, 1, opts)
 		prof := profiler.INFless(model.ByName("RoBERTa-large"))
 		p := profiler.For(model.ByName("RoBERTa-large"), profiler.RoleInference)
 		p.SMReq, p.SMLim, p.IBS = prof.Request, prof.Request, prof.IBS
@@ -49,7 +49,7 @@ func Figure2(opts Options) *report.Report {
 	// Observation-2: 4-worker GPT2-large DDP idles >40% in gradient sync;
 	// LLaMA2-7B pipeline fine-tuning workers idle ~20%.
 	{
-		sys := systemFor("Exclusive", 1, 4, opts.Seed)
+		sys := systemFor("Exclusive", 1, 4, opts)
 		_, err := sys.DeployTraining("gpt2-ddp", "GPT2-large", core.TrainOpts{Workers: 4, Pin: []int{0, 1, 2, 3}})
 		if err != nil {
 			panic(err)
@@ -65,7 +65,7 @@ func Figure2(opts Options) *report.Report {
 			"job", "mean SM busy", "idle fraction"))
 		t.AddRow("GPT2-large 4-worker DDP", occ, 1-occ)
 
-		sys2 := systemFor("Exclusive", 1, 4, opts.Seed)
+		sys2 := systemFor("Exclusive", 1, 4, opts)
 		_, err = sys2.DeployTraining("llama-ft", "LLaMA2-7B", core.TrainOpts{Workers: 4, Pin: []int{0, 1, 2, 3}})
 		if err != nil {
 			panic(err)
@@ -82,7 +82,7 @@ func Figure2(opts Options) *report.Report {
 	// Observation-3: keep-alive instances on a sporadic trace serve a
 	// handful of requests while holding resources almost all the time.
 	{
-		sys := systemFor("MPS-r", 1, 1, opts.Seed)
+		sys := systemFor("MPS-r", 1, 1, opts)
 		f, err := sys.DeployInference("sporadic-fn", "BERT-base", core.InferOpts{
 			Instances: 2, Pin: []int{0},
 			Arrivals: workload.Sporadic{ClusterRPS: 0.4, ClusterDur: 10 * sim.Second, IdleMean: 40 * sim.Second},
@@ -116,7 +116,7 @@ func Figure2(opts Options) *report.Report {
 			"Figure 2(b). Exclusive allocation vs mean occupancy (inference, moderate load)",
 			"model", "allocated", "mean SM used", "mem used frac"))
 		for _, name := range []string{"ResNet152", "BERT-base", "RoBERTa-large", "GPT2-large"} {
-			sys := systemFor("Exclusive", 1, 1, opts.Seed)
+			sys := systemFor("Exclusive", 1, 1, opts)
 			spec := model.ByName(name)
 			rps := 0.5 * spec.InferThroughput(1.0, 1)
 			_, err := sys.DeployInference(name, name, core.InferOpts{
@@ -150,11 +150,11 @@ func Figure2cd(opts Options) *report.Report {
 			var pinI []int
 			instances := 1
 			if collocate {
-				sys = systemFor("Dilu", 1, 3, opts.Seed)
+				sys = systemFor("Dilu", 1, 3, opts)
 				pinI = []int{0, 1, 2}
 				instances = 3
 			} else {
-				sys = systemFor("Exclusive", 1, 4, opts.Seed)
+				sys = systemFor("Exclusive", 1, 4, opts)
 				pinI = []int{3}
 			}
 			tj, err := sys.DeployTraining("bert-t", "BERT-base", core.TrainOpts{Workers: 3, Pin: []int{0, 1, 2}})

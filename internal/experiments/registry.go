@@ -6,34 +6,59 @@ import (
 	"dilu/internal/report"
 )
 
+// Tier classifies a driver by how expensive a full-scale run is. The
+// harness and the test suite use it to build filtered subsets: the short
+// test tier runs quick and standard drivers only, while `dilu-bench
+// -tier quick` gives a sub-second smoke pass over the suite.
+type Tier string
+
+const (
+	// TierQuick drivers finish in well under a second at Scale 0.1.
+	TierQuick Tier = "quick"
+	// TierStandard drivers take a few seconds at Scale 0.1.
+	TierStandard Tier = "standard"
+	// TierSlow drivers dominate suite wall time (large sweeps, many
+	// baselines); they are skipped by `go test -short`.
+	TierSlow Tier = "slow"
+)
+
+// Tiers lists the valid tiers from cheapest to most expensive.
+func Tiers() []Tier { return []Tier{TierQuick, TierStandard, TierSlow} }
+
+// Valid reports whether t is a known tier.
+func (t Tier) Valid() bool {
+	return t == TierQuick || t == TierStandard || t == TierSlow
+}
+
 // Driver regenerates one paper artifact.
 type Driver struct {
 	ID    string // e.g. "table2", "figure7"
 	Paper string // paper artifact reference
+	Tier  Tier   // cost tier: quick, standard, slow
 	Run   func(Options) *report.Report
 }
 
 // All returns every experiment driver in paper order.
 func All() []Driver {
 	return []Driver{
-		{"figure2", "Figure 2(a,b) — fragmentation observations", Figure2},
-		{"figure2cd", "Figure 2(c,d) — toy co-scaling verification", Figure2cd},
-		{"table2", "Table 2 — profiling efficiency", Table2},
-		{"figure4", "Figure 4 — TE surfaces and HGSS stars", Figure4},
-		{"figure7", "Figure 7 — training-inference collocation", Figure7},
-		{"figure8", "Figure 8 — inference-inference collocation", Figure8},
-		{"figure9", "Figure 9 — training-training collocation", Figure9},
-		{"figure10", "Figure 10 — Gamma CV sweep", Figure10},
-		{"figure11", "Figure 11 — vertical scaling overhead", Figure11},
-		{"figure12", "Figure 12 — co-scaling trace analysis", Figure12},
-		{"table3", "Table 3 — horizontal scaling (CSC/SVR/SGT)", Table3},
-		{"figure13", "Figure 13 — kernel issuing traces", Figure13},
-		{"figure14", "Figure 14 — total kernel counts", Figure14},
-		{"figure15", "Figure 15 — end-to-end and ablations", Figure15},
-		{"figure16", "Figure 16 — aggregate throughput", Figure16},
-		{"figure17", "Figure 17 — large-scale simulation", Figure17},
-		{"figure18", "Figure 18 — sensitivity analyses", Figure18},
-		{"ablation-controller", "DESIGN.md §4.6 — RCKM controller ablations (extra)", ControllerAblation},
+		{"figure2", "Figure 2(a,b) — fragmentation observations", TierQuick, Figure2},
+		{"figure2cd", "Figure 2(c,d) — toy co-scaling verification", TierSlow, Figure2cd},
+		{"table2", "Table 2 — profiling efficiency", TierQuick, Table2},
+		{"figure4", "Figure 4 — TE surfaces and HGSS stars", TierQuick, Figure4},
+		{"figure7", "Figure 7 — training-inference collocation", TierStandard, Figure7},
+		{"figure8", "Figure 8 — inference-inference collocation", TierSlow, Figure8},
+		{"figure9", "Figure 9 — training-training collocation", TierQuick, Figure9},
+		{"figure10", "Figure 10 — Gamma CV sweep", TierSlow, Figure10},
+		{"figure11", "Figure 11 — vertical scaling overhead", TierQuick, Figure11},
+		{"figure12", "Figure 12 — co-scaling trace analysis", TierStandard, Figure12},
+		{"table3", "Table 3 — horizontal scaling (CSC/SVR/SGT)", TierStandard, Table3},
+		{"figure13", "Figure 13 — kernel issuing traces", TierQuick, Figure13},
+		{"figure14", "Figure 14 — total kernel counts", TierQuick, Figure14},
+		{"figure15", "Figure 15 — end-to-end and ablations", TierSlow, Figure15},
+		{"figure16", "Figure 16 — aggregate throughput", TierSlow, Figure16},
+		{"figure17", "Figure 17 — large-scale simulation", TierStandard, Figure17},
+		{"figure18", "Figure 18 — sensitivity analyses", TierSlow, Figure18},
+		{"ablation-controller", "DESIGN.md §4.6 — RCKM controller ablations (extra)", TierStandard, ControllerAblation},
 	}
 }
 
@@ -45,4 +70,19 @@ func ByID(id string) (Driver, error) {
 		}
 	}
 	return Driver{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ByTier returns the drivers in the given tiers, preserving paper order.
+func ByTier(tiers ...Tier) []Driver {
+	want := map[Tier]bool{}
+	for _, t := range tiers {
+		want[t] = true
+	}
+	var out []Driver
+	for _, d := range All() {
+		if want[d.Tier] {
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -25,6 +25,7 @@ func rowFloat(t *testing.T, row []string, col int) float64 {
 }
 
 func TestToyCoScalingShape(t *testing.T) {
+	skipSlowTier(t, "figure2cd")
 	rep := Figure2cd(testOpts())
 	tb := rep.Table("Figure 2(c,d).")
 	if tb == nil {
@@ -76,6 +77,7 @@ func TestTable3BurstyShape(t *testing.T) {
 }
 
 func TestFigure10Case2Shape(t *testing.T) {
+	skipSlowTier(t, "figure10")
 	rep := Figure10(testOpts())
 	var tb *report.Table
 	for _, cand := range rep.Tables {
@@ -102,6 +104,7 @@ func TestFigure10Case2Shape(t *testing.T) {
 }
 
 func TestEndToEndShape(t *testing.T) {
+	skipSlowTier(t, "figure15", "figure16")
 	rep := Figure15(testOpts())
 	b := rep.Table("Figure 15(b).")
 	if b == nil {

@@ -13,8 +13,8 @@ import (
 // kernelTraceRun collocates an inference function with a training worker
 // on one GPU and records the per-second normalized inference kernel
 // ratio (inference blocks / total blocks) plus cumulative totals.
-func kernelTraceRun(policy, infModel, trainModel string, arr workload.Arrivals, dur sim.Duration, seed int64) (ratio, total, rps *metrics.Series) {
-	sys := systemFor(policy, 1, 1, seed)
+func kernelTraceRun(policy, infModel, trainModel string, arr workload.Arrivals, dur sim.Duration, opts Options) (ratio, total, rps *metrics.Series) {
+	sys := systemFor(policy, 1, 1, opts)
 	_, err := sys.DeployTraining("t", trainModel, core.TrainOpts{Workers: 1, Pin: []int{0}})
 	if err != nil {
 		panic(err)
@@ -64,8 +64,8 @@ func Figure13(opts Options) *report.Report {
 	// Case-1: low inference workload (~10 req/s) — Dilu should keep the
 	// inference kernel ratio low, leaving SMs to training.
 	arr1 := workload.Poisson{RPS: 10}
-	rDilu, _, rpsTrace := kernelTraceRun("Dilu", "RoBERTa-large", "BERT-base", arr1, dur, opts.Seed)
-	rMPS, _, _ := kernelTraceRun("MPS-r", "RoBERTa-large", "BERT-base", arr1, dur, opts.Seed)
+	rDilu, _, rpsTrace := kernelTraceRun("Dilu", "RoBERTa-large", "BERT-base", arr1, dur, opts)
+	rMPS, _, _ := kernelTraceRun("MPS-r", "RoBERTa-large", "BERT-base", arr1, dur, opts)
 	rep.AddSeries(rpsTrace)
 	rep.AddSeries(rDilu)
 	rep.AddSeries(rMPS)
@@ -78,8 +78,8 @@ func Figure13(opts Options) *report.Report {
 	// Case-2: fluctuating load (CV=5): Dilu should issue MORE tokens than
 	// MPS-r during bursts.
 	arr2 := workload.Gamma{RPS: 48, CV: 5}
-	fDilu, _, _ := kernelTraceRun("Dilu", "GPT2-large", "RoBERTa-large", arr2, dur, opts.Seed)
-	fMPS, _, _ := kernelTraceRun("MPS-r", "GPT2-large", "RoBERTa-large", arr2, dur, opts.Seed)
+	fDilu, _, _ := kernelTraceRun("Dilu", "GPT2-large", "RoBERTa-large", arr2, dur, opts)
+	fMPS, _, _ := kernelTraceRun("MPS-r", "GPT2-large", "RoBERTa-large", arr2, dur, opts)
 	t2 := rep.AddTable(report.NewTable(
 		"Figure 13(b). Case-2 fluctuating load: inference kernel ratio",
 		"system", "mean ratio", "peak ratio"))
@@ -96,13 +96,13 @@ func Figure14(opts Options) *report.Report {
 	rep := report.New("figure14", "Total kernel counts (Figure 14)")
 	dur := opts.dur(50 * sim.Second)
 	arr := workload.Poisson{RPS: 10}
-	_, tDilu, _ := kernelTraceRun("Dilu", "RoBERTa-large", "BERT-base", arr, dur, opts.Seed)
-	_, tMPS, _ := kernelTraceRun("MPS-r", "RoBERTa-large", "BERT-base", arr, dur, opts.Seed)
+	_, tDilu, _ := kernelTraceRun("Dilu", "RoBERTa-large", "BERT-base", arr, dur, opts)
+	_, tMPS, _ := kernelTraceRun("MPS-r", "RoBERTa-large", "BERT-base", arr, dur, opts)
 
 	// Exclusive references: a GPU running only the training job and a GPU
 	// running only the inference function.
 	exclOnly := func(train bool) *metrics.Series {
-		sys := systemFor("Exclusive", 1, 1, opts.Seed)
+		sys := systemFor("Exclusive", 1, 1, opts)
 		if train {
 			if _, err := sys.DeployTraining("t", "BERT-base", core.TrainOpts{Workers: 1, Pin: []int{0}}); err != nil {
 				panic(err)

@@ -93,6 +93,8 @@ type Engine struct {
 	period  Duration
 	// nextTick is the time of the next pending fixed tick.
 	nextTick Time
+	// meter, when non-nil, observes virtual time advanced by Run.
+	meter *Meter
 }
 
 // NewEngine returns an engine whose fixed tick period is TickPeriod (5 ms).
@@ -109,6 +111,14 @@ func NewEngineWithPeriod(period Duration) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetMeter attaches a Meter that observes this engine's progress. Passing
+// nil detaches. Attaching counts the engine on the meter exactly once per
+// call with a non-nil meter.
+func (e *Engine) SetMeter(m *Meter) {
+	e.meter = m
+	m.addEngine()
+}
 
 // Period returns the fixed tick period.
 func (e *Engine) Period() Duration { return e.period }
@@ -136,6 +146,8 @@ func (e *Engine) Pending() int { return len(e.events) }
 // fixed tick in deterministic order: all events at or before a tick boundary
 // run first, then the tick fires.
 func (e *Engine) Run(until Time) {
+	start := e.now
+	ticks := int64(0)
 	for e.now < until {
 		boundary := e.nextTick
 		if boundary > until {
@@ -153,8 +165,11 @@ func (e *Engine) Run(until Time) {
 				t.Tick(e.now)
 			}
 			e.nextTick += e.period
+			ticks++
 		}
 	}
+	e.meter.AddVirtual(e.now - start)
+	e.meter.addTicks(ticks)
 }
 
 // Step advances exactly one fixed tick (running due events first) and

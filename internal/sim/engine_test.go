@@ -249,3 +249,41 @@ func TestEngineMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMeterObservesRun(t *testing.T) {
+	var m Meter
+	e := NewEngine()
+	e.SetMeter(&m)
+	ticks := 0
+	e.AddTicker(TickerFunc(func(Time) { ticks++ }))
+	e.Run(1 * Second)
+	if got := m.Virtual(); got != 1*Second {
+		t.Fatalf("virtual = %v, want 1s", got)
+	}
+	if m.Ticks() != int64(ticks) || ticks == 0 {
+		t.Fatalf("meter ticks %d, engine ticks %d", m.Ticks(), ticks)
+	}
+	if m.Engines() != 1 {
+		t.Fatalf("engines = %d", m.Engines())
+	}
+	// Second engine on the same meter accumulates.
+	e2 := NewEngine()
+	e2.SetMeter(&m)
+	e2.Run(500 * Millisecond)
+	if got := m.Virtual(); got != 1500*Millisecond {
+		t.Fatalf("accumulated virtual = %v, want 1.5s", got)
+	}
+	if m.Engines() != 2 {
+		t.Fatalf("engines = %d", m.Engines())
+	}
+}
+
+func TestUnmeteredEngineRuns(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(10*Millisecond, func(Time) { fired = true })
+	e.Run(20 * Millisecond)
+	if !fired {
+		t.Fatal("event did not fire without a meter")
+	}
+}
