@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench vet fmt-check ci
+.PHONY: build test test-short bench bench-quick vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ test-short:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# One-iteration sweep of the suite benchmarks with allocation counts, in
+# benchstat-comparable form. Compare against the committed baseline with
+#   make bench-quick > /tmp/new.txt && benchstat bench/baseline.txt /tmp/new.txt
+# (single-iteration numbers are noisy; treat benchstat deltas under ~20%
+# as noise and re-run with -count before acting on them).
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 vet:
 	$(GO) vet ./...

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,7 +33,11 @@ import (
 	"dilu/internal/report"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the process exit code instead of
+// calling os.Exit so deferred profile writers always flush.
+func run() int {
 	scale := flag.Float64("scale", 1.0, "experiment duration scale (1.0 = full runs)")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	seeds := flag.String("seeds", "", "comma-separated seed sweep (overrides -seed), e.g. 1,2,3")
@@ -45,13 +50,15 @@ func main() {
 	outDir := flag.String("out", "", "write per-run reports and the manifest into this directory")
 	manifestPath := flag.String("manifest", "", "write the suite manifest JSON to this path")
 	quiet := flag.Bool("q", false, "suppress live progress lines")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the suite) to this path")
 	flag.Parse()
 
 	if *list {
 		for _, d := range experiments.All() {
 			fmt.Printf("%-12s %-9s %s\n", d.ID, d.Tier, d.Paper)
 		}
-		return
+		return 0
 	}
 
 	// Validate everything before running: a typo must not cost the user
@@ -59,17 +66,17 @@ func main() {
 	// must fail in milliseconds, not after the suite finishes.
 	if _, ok := formats[*format]; !ok {
 		fmt.Fprintf(os.Stderr, "dilu-bench: unknown format %q (valid: text, csv, json)\n", *format)
-		os.Exit(2)
+		return 2
 	}
 	drivers, err := selectDrivers(flag.Args(), *tier)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	seedList, err := parseSeeds(*seeds, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	// Resolve the defaulted manifest path up front so the probe covers
 	// the common `-out dir` usage too; probing comes after every other
@@ -80,7 +87,48 @@ func main() {
 	}
 	if err := prepareOutputs(*outDir, mpath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+
+	// Profiling brackets exactly the suite run: flag validation, report
+	// emission, and the heap-profile write stay out of the CPU profile.
+	// stopCPU runs right after harness.Run; the defer only covers early
+	// exits in between.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dilu-bench: cannot write -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "dilu-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		stopped := false
+		stopCPU = func() {
+			if !stopped {
+				stopped = true
+				pprof.StopCPUProfile()
+				pf.Close()
+			}
+		}
+		defer stopCPU()
+	}
+	if *memProfile != "" {
+		// Probe writability now; the profile itself is taken post-run.
+		pf, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dilu-bench: cannot write -memprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // materialize final heap statistics
+			if err := pprof.Lookup("allocs").WriteTo(pf, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "dilu-bench: -memprofile: %v\n", err)
+			}
+			pf.Close()
+		}()
 	}
 
 	jobs := harness.Jobs(drivers, seedList, *scale)
@@ -95,15 +143,17 @@ func main() {
 	}
 
 	outcome := harness.Run(cfg, jobs)
+	stopCPU()
 
 	if err := emit(outcome, *format, *outDir, mpath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	summarize(outcome)
 	if outcome.Failed() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // selectDrivers resolves positional ids and the tier filter into the run

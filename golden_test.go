@@ -1,0 +1,38 @@
+package dilu
+
+import (
+	"os"
+	"testing"
+
+	"dilu/internal/experiments"
+	"dilu/internal/harness"
+)
+
+// TestQuickTierGoldenManifest pins the quick-tier suite manifest
+// (drivers × seed 1 × scale 0.1) to the exact bytes captured before the
+// active-set/idle-fast-forward refactor of the simulation hot path
+// (testdata/golden-quick.json). Determinism is the refactor's contract:
+// skipping idle entities, fast-forwarding empty tick stretches, serving
+// the scheduler from incremental indexes, and re-shaping the event queue
+// must all be unobservable in results. The suite runs serially and on
+// all cores; both must reproduce the golden bytes.
+//
+// Regenerate (only after an intentional semantic change):
+//
+//	go run ./cmd/dilu-bench -tier quick -scale 0.1 -parallel 1 -q -manifest testdata/golden-quick.json
+func TestQuickTierGoldenManifest(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden-quick.json")
+	if err != nil {
+		t.Fatalf("golden manifest missing: %v", err)
+	}
+	jobs := harness.Jobs(experiments.ByTier(experiments.TierQuick), nil, 0.1)
+	for _, parallel := range []int{1, 0} {
+		out := harness.Run(harness.Config{Suite: "dilu-bench", Parallel: parallel}, jobs)
+		if out.Failed() {
+			t.Fatalf("parallel=%d: suite failed:\n%s", parallel, out.Manifest.JSON())
+		}
+		if got := out.Manifest.JSON(); got != string(golden) {
+			t.Errorf("parallel=%d: manifest diverged from golden bytes\ngot:\n%s", parallel, got)
+		}
+	}
+}

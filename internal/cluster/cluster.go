@@ -6,6 +6,12 @@
 // A GPU entry can optionally carry a live gpu.Device for kernel-level
 // experiments; placement-only simulations (the 1,000-node run of §5.5)
 // leave it nil and work purely on quota accounting.
+//
+// The inventory keeps incremental indexes so the scheduler hot path does
+// no O(cluster) work: the active-GPU set is maintained (in inventory
+// order) on every placement transition, the first-inactive lookup is a
+// lazy min-heap over inventory positions, and per-GPU function
+// membership is counted instead of rescanned.
 package cluster
 
 import (
@@ -49,10 +55,21 @@ type GPU struct {
 	SumTrueReq float64
 	MemUsedMB  float64
 	Placements []*Placement
+
+	// clu and pos link the GPU back to its cluster's indexes; nil/0 for
+	// GPUs constructed outside New (index maintenance is then skipped).
+	clu *Cluster
+	pos int
+	// funcCounts counts placements per function, making HostsFunc O(1).
+	funcCounts map[string]int
 }
 
 // Active reports whether any instance is placed on the GPU.
 func (g *GPU) Active() bool { return len(g.Placements) > 0 }
+
+// Pos returns the GPU's position in the cluster inventory (the stable
+// scan order of Cluster.GPUs); zero for GPUs built outside New.
+func (g *GPU) Pos() int { return g.pos }
 
 // Place reserves the placement's quotas on the GPU. Feasibility is the
 // scheduler's concern; Place only refuses memory overflow, mirroring
@@ -67,6 +84,13 @@ func (g *GPU) Place(p *Placement) error {
 	g.SumTrueReq += p.trueReq()
 	g.MemUsedMB += p.MemMB
 	g.Placements = append(g.Placements, p)
+	if g.funcCounts == nil {
+		g.funcCounts = make(map[string]int, 4)
+	}
+	g.funcCounts[p.Func]++
+	if len(g.Placements) == 1 && g.clu != nil {
+		g.clu.noteActivated(g)
+	}
 	return nil
 }
 
@@ -79,26 +103,30 @@ func (g *GPU) Remove(p *Placement) {
 			g.SumLim -= p.Lim
 			g.SumTrueReq -= p.trueReq()
 			g.MemUsedMB -= p.MemMB
+			if g.funcCounts[p.Func]--; g.funcCounts[p.Func] <= 0 {
+				delete(g.funcCounts, p.Func)
+			}
+			if len(g.Placements) == 0 && g.clu != nil {
+				g.clu.noteDeactivated(g)
+			}
 			return
 		}
 	}
 }
 
 // HostsFunc reports whether any placement belongs to the function.
-func (g *GPU) HostsFunc(fn string) bool {
-	for _, p := range g.Placements {
-		if p.Func == fn {
-			return true
-		}
-	}
-	return false
-}
+func (g *GPU) HostsFunc(fn string) bool { return g.funcCounts[fn] > 0 }
 
-// Funcs returns the set of function names placed on the GPU.
+// FuncCounts returns the per-function placement counts. The map is the
+// GPU's live index — callers must treat it as read-only.
+func (g *GPU) FuncCounts() map[string]int { return g.funcCounts }
+
+// Funcs returns the set of function names placed on the GPU (a fresh
+// copy; FuncCounts avoids the allocation on hot paths).
 func (g *GPU) Funcs() map[string]bool {
-	out := make(map[string]bool, len(g.Placements))
-	for _, p := range g.Placements {
-		out[p.Func] = true
+	out := make(map[string]bool, len(g.funcCounts))
+	for f := range g.funcCounts {
+		out[f] = true
 	}
 	return out
 }
@@ -113,6 +141,20 @@ type Node struct {
 type Cluster struct {
 	Nodes []*Node
 	gpus  []*GPU
+
+	// active holds the GPUs with at least one placement, sorted by
+	// inventory position — the same order a linear scan would produce.
+	active []*GPU
+	// inactive is a min-heap of inventory positions of GPUs believed
+	// inactive, with lazy deletion: activation leaves a stale entry that
+	// FirstInactive discards when it surfaces. inHeap tracks which
+	// positions currently have an entry so a GPU cycling through
+	// activations never accumulates duplicates.
+	inactive []int
+	inHeap   []bool
+	// takenScratch backs AppendInactive's pop-and-restore, reused across
+	// calls (the cluster's mutating lookups are single-threaded).
+	takenScratch []int
 }
 
 // Config controls cluster construction.
@@ -143,6 +185,8 @@ func New(cfg Config) *Cluster {
 				Node:     node,
 				Index:    i,
 				MemCapMB: cfg.MemCapMB,
+				clu:      c,
+				pos:      len(c.gpus),
 			}
 			if cfg.WithDevices {
 				g.Dev = gpu.NewDevice(g.ID)
@@ -153,35 +197,146 @@ func New(cfg Config) *Cluster {
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
+	// Every GPU starts inactive; positions are pushed in order, which is
+	// already a valid min-heap.
+	c.inactive = make([]int, len(c.gpus))
+	c.inHeap = make([]bool, len(c.gpus))
+	for i := range c.inactive {
+		c.inactive[i] = i
+		c.inHeap[i] = true
+	}
 	return c
+}
+
+// activeIndex returns the insertion point of pos in the active list
+// (lower bound by inventory position).
+func (c *Cluster) activeIndex(pos int) int {
+	lo, hi := 0, len(c.active)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.active[mid].pos < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// noteActivated inserts g into the active list at its inventory position.
+// The matching inactive-heap entry is left in place and lazily discarded.
+func (c *Cluster) noteActivated(g *GPU) {
+	lo := c.activeIndex(g.pos)
+	c.active = append(c.active, nil)
+	copy(c.active[lo+1:], c.active[lo:])
+	c.active[lo] = g
+}
+
+// noteDeactivated removes g from the active list and returns its position
+// to the inactive heap.
+func (c *Cluster) noteDeactivated(g *GPU) {
+	lo := c.activeIndex(g.pos)
+	if lo < len(c.active) && c.active[lo] == g {
+		c.active = append(c.active[:lo], c.active[lo+1:]...)
+	}
+	// A stale entry from before the GPU's last activation may still sit
+	// in the heap; it is valid again now, so don't add a duplicate.
+	if !c.inHeap[g.pos] {
+		c.inHeap[g.pos] = true
+		c.pushInactive(g.pos)
+	}
+}
+
+func (c *Cluster) pushInactive(pos int) {
+	c.inactive = append(c.inactive, pos)
+	i := len(c.inactive) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.inactive[parent] <= c.inactive[i] {
+			break
+		}
+		c.inactive[i], c.inactive[parent] = c.inactive[parent], c.inactive[i]
+		i = parent
+	}
+}
+
+func (c *Cluster) popInactive() int {
+	h := c.inactive
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	c.inactive = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l] < h[min] {
+			min = l
+		}
+		if r < n && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // GPUs returns every GPU in the cluster, in stable order.
 func (c *Cluster) GPUs() []*GPU { return c.gpus }
 
 // ActiveGPUs returns GPUs hosting at least one placement (the 𝐺_act set
-// of Algorithm 1).
-func (c *Cluster) ActiveGPUs() []*GPU {
-	var out []*GPU
-	for _, g := range c.gpus {
-		if g.Active() {
-			out = append(out, g)
+// of Algorithm 1), in inventory order. The slice is the cluster's live
+// index — callers must treat it as read-only and must not hold it across
+// placement changes.
+func (c *Cluster) ActiveGPUs() []*GPU { return c.active }
+
+// FirstInactive returns the inactive GPU earliest in inventory order —
+// the GPU a linear "first !Active()" scan would find — or nil when every
+// GPU is occupied.
+func (c *Cluster) FirstInactive() *GPU {
+	for len(c.inactive) > 0 {
+		g := c.gpus[c.inactive[0]]
+		if !g.Active() {
+			return g
 		}
+		c.inHeap[c.popInactive()] = false // stale entry from a past activation
 	}
-	return out
+	return nil
+}
+
+// InactiveCount returns the number of GPUs with no placements.
+func (c *Cluster) InactiveCount() int { return len(c.gpus) - len(c.active) }
+
+// AppendInactive appends up to k inactive GPUs in inventory order to dst
+// and returns the extended slice.
+func (c *Cluster) AppendInactive(dst []*GPU, k int) []*GPU {
+	if k <= 0 {
+		return dst
+	}
+	taken := c.takenScratch[:0]
+	for len(taken) < k && len(c.inactive) > 0 {
+		pos := c.popInactive()
+		if c.gpus[pos].Active() {
+			c.inHeap[pos] = false // stale entry
+			continue
+		}
+		taken = append(taken, pos)
+		dst = append(dst, c.gpus[pos])
+	}
+	for _, pos := range taken {
+		c.pushInactive(pos) // still inactive: return to the heap
+	}
+	c.takenScratch = taken
+	return dst
 }
 
 // OccupiedCount returns the number of active GPUs — the scheduling
 // objective Σ g_i of Equation (1).
-func (c *Cluster) OccupiedCount() int {
-	n := 0
-	for _, g := range c.gpus {
-		if g.Active() {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cluster) OccupiedCount() int { return len(c.active) }
 
 // Stats aggregates the fragmentation view of the cluster.
 type Stats struct {

@@ -121,15 +121,13 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 	}
 	if opts.Arrivals != nil {
 		// Arrival times are relative to the deployment moment: a
-		// function deployed mid-run starts its trace fresh.
+		// function deployed mid-run starts its trace fresh. One shared
+		// callback serves every arrival — the injection time arrives as
+		// the event's `now` — so an N-request trace costs N heap slots,
+		// not N closures.
 		base := sys.Eng.Now()
 		arr := opts.Arrivals.Generate(sys.rng.Fork(int64(len(sys.funcs)+1)), sys.remainingHorizonHint())
-		for _, at := range arr {
-			at := base + at
-			sys.Eng.Schedule(at, func(now sim.Time) {
-				f.Inject(now)
-			})
-		}
+		sys.Eng.ScheduleSeries(base, arr, func(now sim.Time) { f.Inject(now) })
 	}
 	sys.funcs = append(sys.funcs, f)
 	return f, nil
@@ -145,10 +143,20 @@ func (f *Function) Inject(now sim.Time) {
 	req := instance.Request{ID: f.sys.nextReqID(), Arrive: now}
 	if in := f.pickLeastLoaded(); in != nil {
 		req.Dispatch = now
-		in.Enqueue(req)
+		f.enqueue(in, req)
 		return
 	}
 	f.pending = append(f.pending, req)
+}
+
+// enqueue hands a request to an instance, entering it into the system's
+// tick-loop active set on the idle→busy transition.
+func (f *Function) enqueue(in *instance.Inference, req instance.Request) {
+	wasBusy := in.Busy()
+	in.Enqueue(req)
+	if !wasBusy {
+		f.sys.wakeInst(in)
+	}
 }
 
 // pickLeastLoaded is the gateway's dispatch rule across active instances.
@@ -178,7 +186,7 @@ func (f *Function) flushPending(now sim.Time) {
 			return
 		}
 		req.Dispatch = now
-		in.Enqueue(req)
+		f.enqueue(in, req)
 	}
 	f.pending = f.pending[:0]
 }
@@ -233,7 +241,6 @@ func (f *Function) launch(cold bool) (*servedInstance, error) {
 	f.seq++
 	in := instance.NewInference(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec, f.Profile.IBS, stages, f.Rec)
 	si := &servedInstance{inst: in, dec: dec, stages: stages}
-	sys.insts = append(sys.insts, in)
 	f.active = append(f.active, si)
 	if cold {
 		f.ColdStarts.Inc()
@@ -310,7 +317,7 @@ func (f *Function) scaleIn(now sim.Time) {
 	// Re-dispatch its queue.
 	for _, req := range si.inst.DropQueue() {
 		if in := f.pickLeastLoaded(); in != nil {
-			in.Enqueue(req)
+			f.enqueue(in, req)
 		} else {
 			f.pending = append(f.pending, req)
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dilu/internal/cluster"
+	"dilu/internal/gpu"
 	"dilu/internal/instance"
 	"dilu/internal/metrics"
 	"dilu/internal/rckm"
@@ -77,7 +78,25 @@ type System struct {
 
 	funcs []*Function
 	jobs  []*TrainingJob
-	insts []instance.Ticker
+
+	// Active sets. The tick loop iterates exactly the entities whose
+	// per-tick work is non-trivial, instead of scanning the whole world:
+	// instances with queued or in-flight work, managers with registered
+	// clients, devices with attached residents, and started-but-
+	// unreleased training jobs. Membership is updated incrementally at
+	// attach/detach and demand transitions; each set's predicate matches
+	// the guard the pre-refactor full scan applied, so results are
+	// bit-identical. When every set is empty (and no OnTick observer is
+	// registered) the system deregisters its engine ticker entirely,
+	// letting the engine fast-forward across idle stretches.
+	activeInsts []instance.Ticker
+	instActive  map[instance.Ticker]bool
+	activeMgrs  []*rckm.Manager
+	mgrActive   map[*rckm.Manager]bool
+	activeDevs  []*gpu.Device
+	devActive   map[*gpu.Device]bool
+	liveJobs    []*TrainingJob
+	tickHandle  *sim.TickerHandle
 
 	rng    *sim.RNG
 	reqSeq int64
@@ -100,12 +119,15 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	clu := cluster.New(cluster.Config{Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode, WithDevices: true})
 	sys := &System{
-		cfg:       cfg,
-		Eng:       sim.NewEngine(),
-		Clu:       clu,
-		rng:       sim.NewRNG(cfg.Seed),
-		mgrByGPU:  make(map[*cluster.GPU]*rckm.Manager),
-		GPUSeries: metrics.NewSeries("occupied-gpus"),
+		cfg:        cfg,
+		Eng:        sim.NewEngine(),
+		Clu:        clu,
+		rng:        sim.NewRNG(cfg.Seed),
+		mgrByGPU:   make(map[*cluster.GPU]*rckm.Manager),
+		instActive: make(map[instance.Ticker]bool),
+		mgrActive:  make(map[*rckm.Manager]bool),
+		devActive:  make(map[*gpu.Device]bool),
+		GPUSeries:  metrics.NewSeries("occupied-gpus"),
 	}
 	if cfg.Meter != nil {
 		sys.Eng.SetMeter(cfg.Meter)
@@ -129,7 +151,8 @@ func NewSystem(cfg Config) (*System, error) {
 		sys.managers = append(sys.managers, m)
 		sys.mgrByGPU[g] = m
 	}
-	sys.Eng.AddTicker(sim.TickerFunc(sys.tick))
+	sys.tickHandle = sys.Eng.AddDynamicTicker(sim.TickerFunc(sys.tick))
+	sys.updateTickActivity() // nothing deployed yet: start deregistered
 	// One-second sampler for scaling decisions and occupancy traces.
 	var sampler func(now sim.Time)
 	sampler = func(now sim.Time) {
@@ -166,33 +189,86 @@ func (sys *System) Jobs() []*TrainingJob { return sys.jobs }
 func (sys *System) Manager(g *cluster.GPU) *rckm.Manager { return sys.mgrByGPU[g] }
 
 // OnTick registers a per-5ms-tick observer (trace sampling for Figures
-// 13/14).
-func (sys *System) OnTick(fn func(now sim.Time)) { sys.onTick = append(sys.onTick, fn) }
+// 13/14). A system with observers ticks on every period for as long as
+// it runs.
+func (sys *System) OnTick(fn func(now sim.Time)) {
+	sys.onTick = append(sys.onTick, fn)
+	sys.updateTickActivity()
+}
 
-// tick is the world loop: demand, tokens, execution, completions.
+// wakeInst adds an instance runtime to the active set. Idempotent; idle
+// instances are swept back out by the tick loop.
+func (sys *System) wakeInst(t instance.Ticker) {
+	if sys.instActive[t] {
+		return
+	}
+	sys.instActive[t] = true
+	sys.activeInsts = append(sys.activeInsts, t)
+	sys.updateTickActivity()
+}
+
+// updateTickActivity (de)registers the system's engine ticker to match
+// whether the next tick would do any work. The deactivation contract of
+// sim.TickerHandle holds by construction: with every active set empty
+// and no observers, tick is a no-op.
+func (sys *System) updateTickActivity() {
+	sys.tickHandle.SetActive(len(sys.activeInsts) > 0 || len(sys.activeMgrs) > 0 ||
+		len(sys.activeDevs) > 0 || len(sys.liveJobs) > 0 || len(sys.onTick) > 0)
+}
+
+// tick is the world loop: demand, tokens, execution, completions. Each
+// phase walks its active set; the sets' predicates mirror the guards the
+// full scans used (instances with work, managers with clients, devices
+// with residents), and every per-entity step touches only that entity's
+// state, so iteration order within a phase cannot affect results.
 func (sys *System) tick(now sim.Time) {
-	for _, in := range sys.insts {
+	for _, in := range sys.activeInsts {
 		in.PreTick(now)
 	}
-	for _, m := range sys.managers {
-		if len(m.Clients()) > 0 {
-			m.Issue(now)
-		}
+	for _, m := range sys.activeMgrs {
+		m.Issue(now)
 	}
-	for _, g := range sys.Clu.GPUs() {
-		if len(g.Dev.Residents()) > 0 {
-			g.Dev.ExecuteTick()
-		}
+	for _, d := range sys.activeDevs {
+		d.ExecuteTick()
 	}
-	for _, in := range sys.insts {
+	idled := false
+	for _, in := range sys.activeInsts {
 		in.PostTick(now)
+		if !in.Busy() {
+			idled = true
+		}
 	}
-	for _, j := range sys.jobs {
-		j.maybeFinish(now)
+	if idled {
+		kept := sys.activeInsts[:0]
+		for _, in := range sys.activeInsts {
+			if in.Busy() {
+				kept = append(kept, in)
+			} else {
+				delete(sys.instActive, in)
+			}
+		}
+		for i := len(kept); i < len(sys.activeInsts); i++ {
+			sys.activeInsts[i] = nil
+		}
+		sys.activeInsts = kept
+	}
+	if len(sys.liveJobs) > 0 {
+		kept := sys.liveJobs[:0]
+		for _, j := range sys.liveJobs {
+			j.maybeFinish(now)
+			if !j.released {
+				kept = append(kept, j)
+			}
+		}
+		for i := len(kept); i < len(sys.liveJobs); i++ {
+			sys.liveJobs[i] = nil
+		}
+		sys.liveJobs = kept
 	}
 	for _, fn := range sys.onTick {
 		fn(now)
 	}
+	sys.updateTickActivity()
 }
 
 // sample runs the 1 Hz control loop: RPS accounting, horizontal scaling,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dilu/internal/cluster"
+	"dilu/internal/gpu"
 	"dilu/internal/instance"
 	"dilu/internal/model"
 	"dilu/internal/profiler"
@@ -74,6 +75,8 @@ func (sys *System) DeployTraining(name, modelName string, opts TrainOpts) (*Trai
 		}
 		tj.Job.TargetIters = opts.TargetIters
 		tj.Job.SetActive(true)
+		sys.liveJobs = append(sys.liveJobs, tj)
+		sys.wakeInst(tj.Job)
 		if opts.Elastic != nil && tj.Spec.TrainStages <= 1 {
 			// Pipeline jobs have a fixed stage count; only DDP jobs
 			// scale their worker set.
@@ -139,7 +142,6 @@ func (tj *TrainingJob) place(workers int, opts TrainOpts) error {
 	tj.decisions = decs
 	tj.stages = stages
 	tj.Job = instance.NewTraining(tj.Name, tj.Name, tj.Spec, stages)
-	sys.insts = append(sys.insts, tj.Job)
 	return nil
 }
 
@@ -192,7 +194,9 @@ func (tj *TrainingJob) Throughput(now sim.Time) float64 {
 // ---------------------------------------------------------------------------
 // Shared attach/detach wiring.
 
-// attach creates one resident + RCKM client per stage GPU of a decision.
+// attach creates one resident + RCKM client per stage GPU of a decision,
+// entering the GPU's manager and device into the tick-loop active sets
+// on their first client/resident.
 func (sys *System) attach(d sched.Decision, sloSensitive bool, prof profiler.Profile) ([]instance.Stage, error) {
 	var stages []instance.Stage
 	for i, g := range d.GPUs {
@@ -209,9 +213,19 @@ func (sys *System) attach(d sched.Decision, sloSensitive bool, prof profiler.Pro
 		// Pipeline shards see 1/n of an iteration's launch cycle and work.
 		n := float64(len(d.GPUs))
 		c.SeedKLCWork(prof.SeedKLC/n, prof.SeedWork/n)
-		sys.mgrByGPU[g].Register(c)
+		m := sys.mgrByGPU[g]
+		m.Register(c)
+		if !sys.mgrActive[m] {
+			sys.mgrActive[m] = true
+			sys.activeMgrs = append(sys.activeMgrs, m)
+		}
+		if !sys.devActive[g.Dev] {
+			sys.devActive[g.Dev] = true
+			sys.activeDevs = append(sys.activeDevs, g.Dev)
+		}
 		stages = append(stages, instance.Stage{Res: res, Client: c})
 	}
+	sys.updateTickActivity()
 	return stages, nil
 }
 
@@ -225,9 +239,40 @@ func (sys *System) detachStages(d sched.Decision, stages []instance.Stage) {
 		dev := st.Res.Device()
 		for _, g := range d.GPUs {
 			if g.Dev == dev {
-				sys.mgrByGPU[g].Unregister(st.Client)
+				m := sys.mgrByGPU[g]
+				m.Unregister(st.Client)
 				dev.Detach(st.Res)
+				if len(m.Clients()) == 0 && sys.mgrActive[m] {
+					delete(sys.mgrActive, m)
+					sys.removeMgr(m)
+				}
+				if dev.ResidentCount() == 0 && sys.devActive[dev] {
+					delete(sys.devActive, dev)
+					sys.removeDev(dev)
+				}
 			}
+		}
+	}
+	sys.updateTickActivity()
+}
+
+// removeMgr drops a now-clientless manager from the active set,
+// preserving the order of the rest.
+func (sys *System) removeMgr(m *rckm.Manager) {
+	for i, mm := range sys.activeMgrs {
+		if mm == m {
+			sys.activeMgrs = append(sys.activeMgrs[:i], sys.activeMgrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeDev drops a now-empty device from the active set.
+func (sys *System) removeDev(d *gpu.Device) {
+	for i, dd := range sys.activeDevs {
+		if dd == d {
+			sys.activeDevs = append(sys.activeDevs[:i], sys.activeDevs[i+1:]...)
+			return
 		}
 	}
 }

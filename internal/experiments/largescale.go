@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dilu/internal/cluster"
 	"dilu/internal/core"
@@ -90,11 +90,16 @@ func runLargeScale(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance, 
 			events = append(events, lsEvent{inst.depart, false, i})
 		}
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+	// (at, idx) is a total order — no ties — so the unstable sort is
+	// deterministic; SortFunc avoids sort.Slice's reflection-based swaps.
+	slices.SortFunc(events, func(a, b lsEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		return events[i].idx < events[j].idx
+		return a.idx - b.idx
 	})
 	placed := map[int][]sched.Decision{}
 	occ := metrics.NewSeries(s.Name() + "/occupied-gpus")

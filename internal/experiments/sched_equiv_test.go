@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"dilu/internal/cluster"
+	"dilu/internal/profiler"
+	"dilu/internal/sched"
+	"dilu/internal/sim"
+)
+
+// This file is a differential guard for the scheduler's incremental
+// indexes: oldDilu reimplements Algorithm 1 with the pre-index full-scan
+// logic (literal inventory scans, per-call Funcs() maps, all-inactive
+// candidate lists), and the test replays the §5.5 large-scale mix
+// through both schedulers, requiring identical GPU choices decision by
+// decision. It caught a duplicate free-heap entry during the PR-2
+// refactor; keep it in sync with any future Algorithm 1 change.
+
+// oldDilu replays Algorithm 1 with the pre-index full-scan logic.
+type oldDilu struct {
+	opts sched.Options
+	clu  *cluster.Cluster
+	seq  int
+}
+
+func (s *oldDilu) Name() string              { return "old" }
+func (s *oldDilu) Cluster() *cluster.Cluster { return s.clu }
+
+func (s *oldDilu) activeGPUs() []*cluster.GPU {
+	var out []*cluster.GPU
+	for _, g := range s.clu.GPUs() {
+		if g.Active() {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (s *oldDilu) Schedule(req sched.Request) ([]sched.Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	var out []sched.Decision
+	for k := 0; k < req.Instances; k++ {
+		var d sched.Decision
+		var err error
+		if stages > 1 {
+			d, err = s.placeMultiGPU(req, stages)
+		} else {
+			d, err = s.placeSingle(req)
+		}
+		if err != nil {
+			for _, prev := range out {
+				prev.Release()
+			}
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (s *oldDilu) nextID(fn string) string {
+	s.seq++
+	return fmt.Sprintf("%s-%d", fn, s.seq)
+}
+
+func (s *oldDilu) placeSingle(req sched.Request) (sched.Decision, error) {
+	p := req.Profile
+	var gpu *cluster.GPU
+	if !s.opts.DisableAffinity {
+		gpu = s.selectOptGPU(s.affinityGPUs(req.Func), p, req.Func)
+	}
+	if gpu == nil {
+		gpu = s.selectOptGPU(s.activeGPUs(), p, req.Func)
+	}
+	if gpu == nil {
+		gpu = s.freshGPU()
+	}
+	if gpu == nil {
+		return sched.Decision{}, sched.ErrNoCapacity
+	}
+	pl := &cluster.Placement{
+		Instance: s.nextID(req.Func), Func: req.Func,
+		Req: p.SMReq, Lim: p.SMLim, MemMB: p.MemMB,
+	}
+	if err := gpu.Place(pl); err != nil {
+		return sched.Decision{}, err
+	}
+	return sched.Decision{Instance: pl.Instance, Func: req.Func,
+		GPUs: []*cluster.GPU{gpu}, Placements: []*cluster.Placement{pl}}, nil
+}
+
+func shardProfileOld(p profiler.Profile, stages int) profiler.Profile {
+	if stages <= 1 {
+		return p
+	}
+	n := float64(stages)
+	p.SMReq /= n
+	p.SMLim /= n
+	p.MemMB /= n
+	return p
+}
+
+func (s *oldDilu) placeMultiGPU(req sched.Request, stages int) (sched.Decision, error) {
+	p := shardProfileOld(req.Profile, stages)
+	type cand struct {
+		g    *cluster.GPU
+		free float64
+	}
+	var cands []cand
+	for _, g := range s.clu.GPUs() {
+		if g.SumReq+p.SMReq > s.opts.Omega+1e-9 {
+			continue
+		}
+		if g.SumLim+p.SMLim > s.opts.Gamma+1e-9 {
+			continue
+		}
+		if g.MemUsedMB+p.MemMB > g.MemCapMB {
+			continue
+		}
+		cands = append(cands, cand{g, g.MemCapMB - g.MemUsedMB})
+	}
+	if len(cands) < stages {
+		return sched.Decision{}, sched.ErrNoCapacity
+	}
+	for i := 0; i < stages; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].free > cands[best].free {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	id := s.nextID(req.Func)
+	d := sched.Decision{Instance: id, Func: req.Func}
+	for i := 0; i < stages; i++ {
+		pl := &cluster.Placement{
+			Instance: fmt.Sprintf("%s/s%d", id, i), Func: req.Func,
+			Req: p.SMReq, Lim: p.SMLim, MemMB: p.MemMB,
+		}
+		if err := cands[i].g.Place(pl); err != nil {
+			d.Release()
+			return sched.Decision{}, err
+		}
+		d.GPUs = append(d.GPUs, cands[i].g)
+		d.Placements = append(d.Placements, pl)
+	}
+	return d, nil
+}
+
+func (s *oldDilu) affinityGPUs(fn string) []*cluster.GPU {
+	partners := make(map[string]bool)
+	for _, g := range s.activeGPUs() {
+		if !g.HostsFunc(fn) {
+			continue
+		}
+		for f := range g.Funcs() {
+			if f != fn {
+				partners[f] = true
+			}
+		}
+	}
+	if len(partners) == 0 {
+		return nil
+	}
+	var out []*cluster.GPU
+	for _, g := range s.activeGPUs() {
+		if g.HostsFunc(fn) {
+			continue
+		}
+		for f := range g.Funcs() {
+			if partners[f] {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (s *oldDilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string) *cluster.GPU {
+	bestScore := 1e18
+	var best *cluster.GPU
+	for _, g := range cands {
+		newReq := g.SumReq + p.SMReq
+		newLim := g.SumLim + p.SMLim
+		newMem := g.MemUsedMB + p.MemMB
+		if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+			continue
+		}
+		if g.HostsFunc(fn) && p.Role == profiler.RoleTraining {
+			continue
+		}
+		score := s.opts.Alpha * (1 - newReq/1.0)
+		if !s.opts.DisableComplementary {
+			score += s.opts.Beta * (1 - newMem/g.MemCapMB)
+		}
+		if g.HostsFunc(fn) {
+			score += 0.5
+		}
+		if score < bestScore {
+			bestScore = score
+			best = g
+		}
+	}
+	return best
+}
+
+func (s *oldDilu) freshGPU() *cluster.GPU {
+	for _, g := range s.clu.GPUs() {
+		if !g.Active() {
+			return g
+		}
+	}
+	return nil
+}
+
+func optsWithDefaults() sched.Options {
+	return sched.Options{Omega: 1.0, Gamma: 1.5, Alpha: 0.5, Beta: 0.5}
+}
+
+func TestDiluSchedulerIndexEquivalence(t *testing.T) {
+	horizon := 3600 * sim.Second
+	mix := largeScaleMix(3200, horizon, sim.NewRNG(1))
+
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	sNew := sched.NewDilu(cluNew, sched.Options{})
+	sOld := &oldDilu{opts: optsWithDefaults(), clu: cluOld}
+
+	var events []lsEvent
+	for i, inst := range mix {
+		events = append(events, lsEvent{inst.arrive, true, i})
+		if inst.depart < horizon {
+			events = append(events, lsEvent{inst.depart, false, i})
+		}
+	}
+	slices.SortFunc(events, func(a, b lsEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		return a.idx - b.idx
+	})
+	placedNew := map[int][]sched.Decision{}
+	placedOld := map[int][]sched.Decision{}
+	for n, ev := range events {
+		inst := mix[ev.idx]
+		if ev.arrive {
+			req := sched.Request{Func: inst.fn, Profile: inst.profile,
+				Instances: inst.workers, GPUsPerInstance: inst.stages}
+			dn, errN := sNew.Schedule(req)
+			do, errO := sOld.Schedule(req)
+			if (errN == nil) != (errO == nil) {
+				t.Fatalf("event %d (%s): err mismatch new=%v old=%v", n, inst.fn, errN, errO)
+			}
+			if errN == nil {
+				for k := range dn {
+					var gn, gi []string
+					for _, g := range dn[k].GPUs {
+						gn = append(gn, g.ID)
+					}
+					for _, g := range do[k].GPUs {
+						gi = append(gi, g.ID)
+					}
+					if fmt.Sprint(gn) != fmt.Sprint(gi) {
+						t.Fatalf("event %d (%s stages=%d workers=%d): GPU mismatch\nnew=%v\nold=%v",
+							n, inst.fn, inst.stages, inst.workers, gn, gi)
+					}
+				}
+				placedNew[ev.idx] = dn
+				placedOld[ev.idx] = do
+			}
+		} else {
+			for _, d := range placedNew[ev.idx] {
+				d.Release()
+			}
+			for _, d := range placedOld[ev.idx] {
+				d.Release()
+			}
+			delete(placedNew, ev.idx)
+			delete(placedOld, ev.idx)
+		}
+	}
+}

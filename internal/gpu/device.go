@@ -23,6 +23,9 @@ type Device struct {
 
 	residents []*Resident
 	usedMem   float64
+	// want is ExecuteTick's per-resident scratch, reused across ticks so
+	// the 5 ms execution loop does not allocate.
+	want []float64
 
 	// lastOccupancy is the total SM share consumed in the previous
 	// ExecuteTick, in [0,1]. Exposed for utilization/fragmentation traces.
@@ -88,8 +91,15 @@ func (d *Device) Detach(r *Resident) {
 	}
 }
 
-// Residents returns the currently attached residents.
+// Residents returns the currently attached residents. The slice is the
+// device's live bookkeeping — callers must treat it as read-only and must
+// not hold it across Attach/Detach; use ResidentCount for hot-path
+// presence checks.
 func (d *Device) Residents() []*Resident { return d.residents }
+
+// ResidentCount returns the number of attached residents without exposing
+// the underlying slice.
+func (d *Device) ResidentCount() int { return len(d.residents) }
 
 // MemUsedMB returns reserved device memory.
 func (d *Device) MemUsedMB() float64 { return d.usedMem }
@@ -179,7 +189,10 @@ func (r *Resident) Device() *Device { return r.dev }
 // waterfill), which is precisely the contention that inflates kernel
 // launch cycles in the paper's §3.4.1 observation.
 func (d *Device) ExecuteTick() {
-	want := make([]float64, len(d.residents))
+	if cap(d.want) < len(d.residents) {
+		d.want = make([]float64, len(d.residents))
+	}
+	want := d.want[:len(d.residents)]
 	var totalOcc float64
 	for i, r := range d.residents {
 		r.demandLast = r.pending

@@ -37,10 +37,16 @@ type Stage struct {
 	Client *rckm.Client
 }
 
-// Ticker is implemented by every instance runtime.
+// Ticker is implemented by every instance runtime. Busy reports whether
+// the runtime has per-tick work pending — queued or in-flight requests
+// for inference, an unfinished active job for training. The simulation
+// world uses it to keep idle runtimes out of the tick loop; PreTick and
+// PostTick are no-ops (beyond flag housekeeping the runtime performs at
+// its own idle transition) whenever Busy is false.
 type Ticker interface {
 	PreTick(now sim.Time)
 	PostTick(now sim.Time)
+	Busy() bool
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +241,16 @@ func (in *Inference) PostTick(now sim.Time) {
 	}
 	in.lastServedAt = done
 	in.batch = in.batch[:0]
+	if len(in.queue) == 0 {
+		// The instance is about to leave the world's active set; perform
+		// the pressure-flag clearing its next (never-delivered) PreTick
+		// would have done, so RCKM never sees a stale backlog signal.
+		for _, st := range in.Stages {
+			if st.Client != nil {
+				st.Client.SetPressured(false)
+			}
+		}
+	}
 }
 
 // DropQueue fails queued requests back to the caller (instance teardown);
@@ -247,6 +263,11 @@ func (in *Inference) DropQueue() []Request {
 
 // Idle reports whether the instance has no queued or executing work.
 func (in *Inference) Idle() bool { return len(in.queue) == 0 && in.steps == 0 }
+
+// Busy implements Ticker: queued or in-flight work exists. Note this is
+// independent of Active — a descheduled instance still drains its
+// in-flight batch.
+func (in *Inference) Busy() bool { return len(in.queue) > 0 || in.steps > 0 }
 
 func (in *Inference) String() string {
 	return fmt.Sprintf("inf[%s %s ibs=%d stages=%d]", in.ID, in.Spec.Name, in.IBS, len(in.Stages))
@@ -314,6 +335,10 @@ func (tr *Training) Active() bool { return tr.active }
 
 // Finished reports whether the job hit its iteration target.
 func (tr *Training) Finished() bool { return tr.finished }
+
+// Busy implements Ticker: an active, unfinished job iterates every tick
+// (compute polling and sync-phase countdowns both ride the tick loop).
+func (tr *Training) Busy() bool { return tr.active && !tr.finished }
 
 // Iterations returns completed iterations.
 func (tr *Training) Iterations() int64 { return tr.iters }

@@ -7,7 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dilu/internal/sim"
 )
@@ -60,7 +60,9 @@ func (r *LatencyRecorder) ViolationRate() float64 {
 
 func (r *LatencyRecorder) ensureSorted() {
 	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		// slices.Sort specializes on the ordered element type — no
+		// reflection-driven swaps on the percentile path.
+		slices.Sort(r.samples)
 		r.sorted = true
 	}
 }

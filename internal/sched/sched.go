@@ -94,6 +94,14 @@ type Dilu struct {
 	opts Options
 	clu  *cluster.Cluster
 	seq  int
+
+	// Scratch buffers reused across Schedule calls (the scheduler is
+	// single-threaded per cluster) so the per-request hot path does not
+	// allocate candidate slices.
+	affScratch   []*cluster.GPU
+	inactScratch []*cluster.GPU
+	candScratch  []multiCand
+	partners     map[string]bool
 }
 
 // NewDilu builds the scheduler over a cluster.
@@ -171,36 +179,68 @@ func (s *Dilu) placeSingle(req Request) (Decision, error) {
 		GPUs: []*cluster.GPU{gpu}, Placements: []*cluster.Placement{pl}}, nil
 }
 
+// multiCand is one placeMultiGPU candidate.
+type multiCand struct {
+	g    *cluster.GPU
+	free float64
+}
+
 // placeMultiGPU shards an LLM instance over `stages` GPU fragments using
 // the memory worst-fit strategy of Principle-2 (most remaining memory
 // first, minimizing pipeline depth and end-to-end latency). The whole-
 // instance profile is divided across stages: each fragment carries 1/n of
 // the quotas and memory.
+//
+// Candidates come from the cluster's incremental indexes rather than a
+// full inventory scan: every feasible active GPU, merged (in inventory
+// order) with the `stages` earliest inactive GPUs. Inactive GPUs are
+// interchangeable — identical free memory, the worst-fit maximum — and
+// the ranking loop breaks free-memory ties toward earlier list positions,
+// so capping them at `stages` provably selects the same GPUs a scan of
+// all of them would; the feasibility count still reflects every inactive
+// GPU.
 func (s *Dilu) placeMultiGPU(req Request, stages int) (Decision, error) {
 	p := shardProfile(req.Profile, stages)
 	if s.opts.DisableComplementary {
 		return s.placeExclusiveStages(req, stages)
 	}
-	// Candidates: every GPU (fragments preferred by free memory;
-	// inactive GPUs are the worst-fit extreme and naturally qualify).
-	type cand struct {
-		g    *cluster.GPU
-		free float64
+	feasible := func(g *cluster.GPU) bool {
+		return g.SumReq+p.SMReq <= s.opts.Omega+1e-9 &&
+			g.SumLim+p.SMLim <= s.opts.Gamma+1e-9 &&
+			g.MemUsedMB+p.MemMB <= g.MemCapMB
 	}
-	var cands []cand
-	for _, g := range s.clu.GPUs() {
-		if g.SumReq+p.SMReq > s.opts.Omega+1e-9 {
-			continue
+	s.inactScratch = s.clu.AppendInactive(s.inactScratch[:0], stages)
+	inactives := s.inactScratch
+	cands := s.candScratch[:0]
+	feasibleCount := 0
+	// Merge actives and the capped inactives in inventory order so the
+	// candidate list is a (never-selected-elements-removed) copy of the
+	// full-scan list.
+	ii := 0
+	for _, g := range s.clu.ActiveGPUs() {
+		for ii < len(inactives) && inactives[ii].Pos() < g.Pos() {
+			if feasible(inactives[ii]) {
+				cands = append(cands, multiCand{inactives[ii], inactives[ii].MemCapMB - inactives[ii].MemUsedMB})
+			}
+			ii++
 		}
-		if g.SumLim+p.SMLim > s.opts.Gamma+1e-9 {
-			continue
+		if feasible(g) {
+			cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
+			feasibleCount++
 		}
-		if g.MemUsedMB+p.MemMB > g.MemCapMB {
-			continue
-		}
-		cands = append(cands, cand{g, g.MemCapMB - g.MemUsedMB})
 	}
-	if len(cands) < stages {
+	for ; ii < len(inactives); ii++ {
+		if feasible(inactives[ii]) {
+			cands = append(cands, multiCand{inactives[ii], inactives[ii].MemCapMB - inactives[ii].MemUsedMB})
+		}
+	}
+	s.candScratch = cands
+	// Feasibility counts every inactive GPU, not just the capped sample:
+	// they are interchangeable, so one check covers all of them.
+	if n := s.clu.InactiveCount(); n > 0 && len(inactives) > 0 && feasible(inactives[0]) {
+		feasibleCount += n
+	}
+	if feasibleCount < stages {
 		return Decision{}, ErrNoCapacity
 	}
 	// Worst fit: stable selection of the most-free GPUs.
@@ -260,12 +300,16 @@ func (s *Dilu) placeExclusiveStages(req Request, stages int) (Decision, error) {
 // patterns, Figure 5(b)), excluding GPUs that already host req.Func
 // itself so instances of one function spread across fragments.
 func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
-	partners := make(map[string]bool)
+	if s.partners == nil {
+		s.partners = make(map[string]bool, 8)
+	}
+	partners := s.partners
+	clear(partners)
 	for _, g := range s.clu.ActiveGPUs() {
 		if !g.HostsFunc(fn) {
 			continue
 		}
-		for f := range g.Funcs() {
+		for f := range g.FuncCounts() {
 			if f != fn {
 				partners[f] = true
 			}
@@ -274,18 +318,19 @@ func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
 	if len(partners) == 0 {
 		return nil
 	}
-	var out []*cluster.GPU
+	out := s.affScratch[:0]
 	for _, g := range s.clu.ActiveGPUs() {
 		if g.HostsFunc(fn) {
 			continue
 		}
-		for f := range g.Funcs() {
+		for f := range g.FuncCounts() {
 			if partners[f] {
 				out = append(out, g)
 				break
 			}
 		}
 	}
+	s.affScratch = out
 	return out
 }
 
@@ -324,15 +369,9 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 	return best
 }
 
-// freshGPU starts a new GPU instance (line 16): the first inactive GPU.
-func (s *Dilu) freshGPU() *cluster.GPU {
-	for _, g := range s.clu.GPUs() {
-		if !g.Active() {
-			return g
-		}
-	}
-	return nil
-}
+// freshGPU starts a new GPU instance (line 16): the first inactive GPU,
+// served by the cluster's free index instead of an inventory scan.
+func (s *Dilu) freshGPU() *cluster.GPU { return s.clu.FirstInactive() }
 
 // ---------------------------------------------------------------------------
 // Baselines.
@@ -368,13 +407,7 @@ func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
 		s.seq++
 		d := Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
 		for i := 0; i < stages; i++ {
-			var g *cluster.GPU
-			for _, cand := range s.clu.GPUs() {
-				if !cand.Active() {
-					g = cand
-					break
-				}
-			}
+			g := s.clu.FirstInactive()
 			if g == nil {
 				d.Release()
 				for _, prev := range out {
@@ -497,12 +530,7 @@ func (s *Static) Schedule(req Request) ([]Decision, error) {
 
 func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if wholeGPU {
-		for _, g := range s.clu.GPUs() {
-			if !g.Active() {
-				return g
-			}
-		}
-		return nil
+		return s.clu.FirstInactive()
 	}
 	// Best fit by SM occupancy among active GPUs.
 	var best *cluster.GPU
@@ -520,10 +548,5 @@ func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if best != nil {
 		return best
 	}
-	for _, g := range s.clu.GPUs() {
-		if !g.Active() {
-			return g
-		}
-	}
-	return nil
+	return s.clu.FirstInactive()
 }

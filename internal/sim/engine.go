@@ -6,10 +6,26 @@
 // arbitrary times) with fixed-period tickers, which is the natural shape
 // for Dilu: request arrivals and cold-start completions are events, while
 // the RCKM token cycle and GPU execution advance on a fixed 5 ms tick.
+//
+// Two properties keep the hot path cheap at scale without changing
+// results:
+//
+//   - The event queue is a value-based 4-ary min-heap: scheduling an
+//     event appends into a reused backing array instead of boxing a
+//     per-event allocation behind container/heap's interface{} API.
+//     Pop order is totally determined by (time, sequence), so the heap's
+//     internal arrangement never affects behaviour.
+//   - Tickers registered through AddDynamicTicker carry an activity bit.
+//     While every dynamic ticker is inactive (and no always-active ticker
+//     exists), Run fast-forwards virtual time straight to the next event
+//     instead of stepping through empty 5 ms boundaries. The tick phase
+//     is preserved — the next fired tick lands on exactly the same
+//     period lattice as if every empty tick had been stepped — so a
+//     component that deactivates only when its Tick is a no-op observes
+//     bit-identical results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -51,24 +67,90 @@ type event struct {
 	fn  func(Time)
 }
 
-type eventHeap []*event
+// eventHeap is a value-based 4-ary min-heap ordered by (at, seq). The
+// backing array doubles as its own free-list: popped slots are reused by
+// later pushes, so a steady-state workload schedules events with zero
+// per-event heap allocations. (at, seq) is a total order — seq is unique
+// — so pop order is independent of sibling arrangement.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h event) less(o event) bool {
+	if h.at != o.at {
+		return h.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return h.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push appends e and sifts it up to its heap position.
+func (h *eventHeap) push(e event) {
+	a := *h
+	i := len(a)
+	a = append(a, e)
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !a[i].less(a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n].fn = nil // release the closure to the GC; the slot itself is reused
+	a = a[:n]
+	*h = a
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if a[c].less(a[min]) {
+				min = c
+			}
+		}
+		if !a[min].less(a[i]) {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
+}
+
+// eventStream is a pre-generated, time-sorted series of callbacks to one
+// shared function (a request-arrival trace). It is consumed by cursor:
+// the engine merges stream heads with the heap top by (at, seq), so the
+// series behaves exactly as if each entry had been Scheduled
+// individually at registration — same seq range, same tie order — while
+// costing one cursor instead of len(times) heap slots, and keeping the
+// times array pointer-free (the GC never scans it).
+type eventStream struct {
+	base  Time
+	times []Time
+	seq0  uint64
+	next  int
+	fn    func(Time)
+}
+
+// head returns the stream's next event; valid only while next is in
+// range.
+func (s *eventStream) head() event {
+	return event{at: s.base + s.times[s.next], seq: s.seq0 + uint64(s.next), fn: s.fn}
 }
 
 // Ticker is a component invoked on every fixed simulation tick, in
@@ -83,14 +165,54 @@ type TickerFunc func(now Time)
 // Tick calls f(now).
 func (f TickerFunc) Tick(now Time) { f(now) }
 
+// tickerEntry is one registered ticker with its activity bit.
+type tickerEntry struct {
+	t       Ticker
+	active  bool
+	dynamic bool
+}
+
+// TickerHandle controls the activity of a ticker registered with
+// AddDynamicTicker. It is engine-owned and not safe for concurrent use.
+type TickerHandle struct {
+	e   *Engine
+	idx int
+}
+
+// SetActive flips the ticker's activity. An inactive ticker is not
+// invoked on ticks, and while no ticker on the engine is active, Run
+// fast-forwards across empty tick boundaries (see package comment). The
+// caller contracts that the ticker's Tick is a no-op whenever it is
+// deactivated; under that contract results are bit-identical to an
+// always-active registration.
+func (h *TickerHandle) SetActive(active bool) {
+	ent := &h.e.tickers[h.idx]
+	if ent.active == active {
+		return
+	}
+	ent.active = active
+	if active {
+		h.e.activeTickers++
+	} else {
+		h.e.activeTickers--
+	}
+}
+
+// Active reports the ticker's current activity.
+func (h *TickerHandle) Active() bool { return h.e.tickers[h.idx].active }
+
 // Engine is a single-threaded deterministic simulator. It is not safe for
 // concurrent use; experiments that need parallelism run independent engines.
 type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
-	tickers []Ticker
-	period  Duration
+	streams []eventStream
+	tickers []tickerEntry
+	// activeTickers counts tickers with active=true; when it is zero the
+	// Run loop fast-forwards across tick boundaries.
+	activeTickers int
+	period        Duration
 	// nextTick is the time of the next pending fixed tick.
 	nextTick Time
 	// meter, when non-nil, observes virtual time advanced by Run.
@@ -123,8 +245,22 @@ func (e *Engine) SetMeter(m *Meter) {
 // Period returns the fixed tick period.
 func (e *Engine) Period() Duration { return e.period }
 
-// AddTicker registers t to be invoked on every fixed tick.
-func (e *Engine) AddTicker(t Ticker) { e.tickers = append(e.tickers, t) }
+// AddTicker registers t to be invoked on every fixed tick. Tickers added
+// this way are always active; use AddDynamicTicker for components that
+// can deregister while idle.
+func (e *Engine) AddTicker(t Ticker) {
+	e.tickers = append(e.tickers, tickerEntry{t: t, active: true})
+	e.activeTickers++
+}
+
+// AddDynamicTicker registers t like AddTicker but returns a handle whose
+// SetActive lets the component deregister from the tick loop while it has
+// no work and re-register when work arrives. The ticker starts active.
+func (e *Engine) AddDynamicTicker(t Ticker) *TickerHandle {
+	e.tickers = append(e.tickers, tickerEntry{t: t, active: true, dynamic: true})
+	e.activeTickers++
+	return &TickerHandle{e: e, idx: len(e.tickers) - 1}
+}
 
 // Schedule registers fn to run at virtual time at. Events scheduled in the
 // past run at the current time, preserving submission order.
@@ -133,36 +269,144 @@ func (e *Engine) Schedule(at Time, fn func(Time)) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After registers fn to run d after the current virtual time.
 func (e *Engine) After(d Duration, fn func(Time)) { e.Schedule(e.now+d, fn) }
 
-// Pending reports the number of queued one-shot events.
-func (e *Engine) Pending() int { return len(e.events) }
+// ScheduleSeries registers fn to run at base+times[i] for every entry of
+// times, which must be non-decreasing with base+times[0] not in the
+// past. It is equivalent to calling Schedule(base+t, fn) for each t — the
+// events occupy the same sequence range, so ordering against other
+// events (including exact-time ties) is identical — but holds the series
+// as a cursor over the caller's slice instead of filling the heap. The
+// engine takes ownership of times; the caller must not modify it.
+func (e *Engine) ScheduleSeries(base Time, times []Time, fn func(Time)) {
+	if len(times) == 0 {
+		return
+	}
+	if base+times[0] < e.now {
+		panic("sim: ScheduleSeries starts in the past")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			panic("sim: ScheduleSeries times must be non-decreasing")
+		}
+	}
+	e.streams = append(e.streams, eventStream{
+		base: base, times: times, seq0: e.seq + 1, fn: fn,
+	})
+	e.seq += uint64(len(times))
+}
+
+// Pending reports the number of queued one-shot events, including
+// unconsumed series entries.
+func (e *Engine) Pending() int {
+	n := len(e.events)
+	for i := range e.streams {
+		n += len(e.streams[i].times) - e.streams[i].next
+	}
+	return n
+}
+
+// earliestAt returns the time of the earliest pending event across the
+// heap and the streams.
+func (e *Engine) earliestAt() (Time, bool) {
+	var at Time
+	have := false
+	if len(e.events) > 0 {
+		at, have = e.events[0].at, true
+	}
+	for i := range e.streams {
+		s := &e.streams[i]
+		if s.next < len(s.times) {
+			if h := s.base + s.times[s.next]; !have || h < at {
+				at, have = h, true
+			}
+		}
+	}
+	return at, have
+}
+
+// popDue removes and returns the earliest pending event if it is due at
+// or before bound. Drained streams are dropped as they surface.
+func (e *Engine) popDue(bound Time) (event, bool) {
+	src := -1 // -1: heap
+	var best event
+	have := false
+	if len(e.events) > 0 {
+		best, have = e.events[0], true
+	}
+	for i := 0; i < len(e.streams); {
+		s := &e.streams[i]
+		if s.next >= len(s.times) {
+			// Drained; release the series (order among sources is
+			// irrelevant — (at, seq) decides everything).
+			last := len(e.streams) - 1
+			e.streams[i] = e.streams[last]
+			e.streams[last] = eventStream{}
+			e.streams = e.streams[:last]
+			continue
+		}
+		if h := s.head(); !have || h.less(best) {
+			best, src, have = h, i, true
+		}
+		i++
+	}
+	if !have || best.at > bound {
+		return event{}, false
+	}
+	if src < 0 {
+		e.events.pop()
+	} else {
+		e.streams[src].next++
+	}
+	return best, true
+}
 
 // Run advances virtual time until `until`, executing every due event and
 // fixed tick in deterministic order: all events at or before a tick boundary
-// run first, then the tick fires.
+// run first, then the tick fires. While no ticker is active, boundaries
+// with nothing to do are skipped wholesale (idle fast-forward): virtual
+// time jumps to the next event — or the horizon — and the tick phase is
+// realigned onto the same 5 ms lattice it would have reached by stepping.
 func (e *Engine) Run(until Time) {
 	start := e.now
 	ticks := int64(0)
 	for e.now < until {
+		if e.activeTickers == 0 {
+			// No ticker can observe the skipped boundaries. Jump the
+			// tick lattice forward to the first boundary at or after the
+			// next event (or the horizon), preserving phase.
+			target := until
+			if at, ok := e.earliestAt(); ok && at < target {
+				target = at
+			}
+			if target > e.nextTick {
+				k := (target - e.nextTick + e.period - 1) / e.period
+				e.nextTick += k * e.period
+			}
+		}
 		boundary := e.nextTick
 		if boundary > until {
 			boundary = until
 		}
 		// Drain events due at or before the boundary.
-		for len(e.events) > 0 && e.events[0].at <= boundary {
-			ev := heap.Pop(&e.events).(*event)
+		for {
+			ev, ok := e.popDue(boundary)
+			if !ok {
+				break
+			}
 			e.now = ev.at
 			ev.fn(e.now)
 		}
 		e.now = boundary
 		if boundary == e.nextTick {
-			for _, t := range e.tickers {
-				t.Tick(e.now)
+			for i := range e.tickers {
+				if e.tickers[i].active {
+					e.tickers[i].t.Tick(e.now)
+				}
 			}
 			e.nextTick += e.period
 			ticks++

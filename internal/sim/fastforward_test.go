@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestIdleFastForwardTickPhase verifies that fast-forwarding across an
+// idle stretch lands subsequent ticks on exactly the same 5 ms lattice
+// as stepping every boundary would: a ticker activated by an off-lattice
+// event sees its first tick at the next lattice point, not at the event
+// time or a shifted phase.
+func TestIdleFastForwardTickPhase(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	h := e.AddDynamicTicker(TickerFunc(func(now Time) { ticks = append(ticks, now) }))
+	h.SetActive(false)
+	// Off-lattice activation: 12.5 ms sits between the 10 and 15 ms
+	// boundaries.
+	e.Schedule(12*Millisecond+500*Microsecond, func(now Time) {
+		if now != 12*Millisecond+500*Microsecond {
+			t.Fatalf("event fired at %v", now)
+		}
+		h.SetActive(true)
+	})
+	e.Run(30 * Millisecond)
+	want := []Time{15 * Millisecond, 20 * Millisecond, 25 * Millisecond, 30 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("now = %v, want 30ms", e.Now())
+	}
+}
+
+// TestIdleFastForwardOnLatticeActivation checks the boundary case: an
+// activation event scheduled exactly on a lattice point runs before the
+// tick at that point, and the tick then fires — the same order stepping
+// produces.
+func TestIdleFastForwardOnLatticeActivation(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	h := e.AddDynamicTicker(TickerFunc(func(now Time) {
+		order = append(order, "tick@"+now.String())
+	}))
+	h.SetActive(false)
+	e.Schedule(20*Millisecond, func(Time) {
+		order = append(order, "event")
+		h.SetActive(true)
+	})
+	e.Run(25 * Millisecond)
+	want := []string{"event", "tick@0.020s", "tick@0.025s"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestIdleFastForwardMatchesStepping runs the same event script on two
+// engines — one whose ticker deactivates during idle stretches (enabling
+// fast-forward), one always active whose Tick is a no-op while "idle" —
+// and requires identical final state and identical tick times during
+// busy phases.
+func TestIdleFastForwardMatchesStepping(t *testing.T) {
+	type world struct {
+		eng   *Engine
+		busy  bool
+		ticks []Time
+	}
+	script := func(w *world, h *TickerHandle) {
+		// Busy 0-20ms, idle until 112.5ms, busy again until 130ms.
+		w.busy = true
+		w.eng.Schedule(20*Millisecond, func(Time) {
+			w.busy = false
+			if h != nil {
+				h.SetActive(false)
+			}
+		})
+		w.eng.Schedule(112*Millisecond+500*Microsecond, func(Time) {
+			w.busy = true
+			if h != nil {
+				h.SetActive(true)
+			}
+		})
+	}
+	tick := func(w *world) Ticker {
+		return TickerFunc(func(now Time) {
+			if w.busy {
+				w.ticks = append(w.ticks, now)
+			}
+		})
+	}
+
+	ff := &world{eng: NewEngine()}
+	hff := ff.eng.AddDynamicTicker(tick(ff))
+	script(ff, hff)
+	ff.eng.Run(130 * Millisecond)
+
+	ref := &world{eng: NewEngine()}
+	ref.eng.AddTicker(tick(ref))
+	script(ref, nil)
+	ref.eng.Run(130 * Millisecond)
+
+	if ff.eng.Now() != ref.eng.Now() {
+		t.Fatalf("now: ff=%v ref=%v", ff.eng.Now(), ref.eng.Now())
+	}
+	if len(ff.ticks) != len(ref.ticks) {
+		t.Fatalf("tick counts differ: ff=%v ref=%v", ff.ticks, ref.ticks)
+	}
+	for i := range ref.ticks {
+		if ff.ticks[i] != ref.ticks[i] {
+			t.Fatalf("tick %d: ff=%v ref=%v", i, ff.ticks[i], ref.ticks[i])
+		}
+	}
+}
+
+// TestIdleFastForwardEmptyEngine checks that a tickerless engine jumps
+// straight to the horizon (and an engine whose only ticker is inactive
+// does the same) while events still fire at their times.
+func TestIdleFastForwardEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	h := e.AddDynamicTicker(TickerFunc(func(Time) { t.Fatal("inactive ticker fired") }))
+	h.SetActive(false)
+	fired := Time(-1)
+	e.Schedule(3*Hour+7*Millisecond, func(now Time) { fired = now })
+	e.Run(12 * Hour)
+	if fired != 3*Hour+7*Millisecond {
+		t.Fatalf("event fired at %v", fired)
+	}
+	if e.Now() != 12*Hour {
+		t.Fatalf("now = %v, want 12h", e.Now())
+	}
+}
+
+// TestStepWithInactiveTickers keeps Step's one-boundary contract under
+// dynamic tickers.
+func TestStepWithInactiveTickers(t *testing.T) {
+	e := NewEngine()
+	h := e.AddDynamicTicker(TickerFunc(func(Time) {}))
+	h.SetActive(false)
+	if got := e.Step(); got != TickPeriod {
+		t.Fatalf("Step = %v, want %v", got, TickPeriod)
+	}
+	if got := e.Step(); got != 2*TickPeriod {
+		t.Fatalf("Step = %v, want %v", got, 2*TickPeriod)
+	}
+}
+
+// TestScheduleSeriesMatchesIndividualSchedules drives two engines with
+// the same arrival trace — one via ScheduleSeries, one via a Schedule
+// call per arrival — interleaved with competing same-time events, and
+// requires the exact same execution order (series entries occupy the
+// same sequence range, so ties resolve identically).
+func TestScheduleSeriesMatchesIndividualSchedules(t *testing.T) {
+	times := []Time{Millisecond, 5 * Millisecond, 5 * Millisecond, 12 * Millisecond}
+
+	run := func(series bool) []string {
+		e := NewEngine()
+		var got []string
+		e.Schedule(5*Millisecond, func(Time) { got = append(got, "pre") })
+		if series {
+			e.ScheduleSeries(0, times, func(now Time) { got = append(got, "arr@"+now.String()) })
+		} else {
+			for _, at := range times {
+				e.Schedule(at, func(now Time) { got = append(got, "arr@"+now.String()) })
+			}
+		}
+		e.Schedule(5*Millisecond, func(Time) { got = append(got, "post") })
+		e.Run(20 * Millisecond)
+		return got
+	}
+
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("series=%v individual=%v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d: series=%v individual=%v", i, a, b)
+		}
+	}
+}
+
+// TestScheduleSeriesPending verifies Pending accounts for unconsumed
+// series entries and that drained series are released.
+func TestScheduleSeriesPending(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleSeries(0, []Time{Millisecond, 2 * Millisecond, 8 * Millisecond}, func(Time) {})
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	e.Run(4 * Millisecond)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	e.Run(10 * Millisecond)
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0", got)
+	}
+}

@@ -10,7 +10,7 @@ package workload
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"dilu/internal/sim"
 )
@@ -153,11 +153,16 @@ func (b Bursty) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
 		bursts = append(bursts, window{t, t + burstDur})
 		t += burstDur + sim.Time(float64(quiet)*(0.5+rng.Float64()))
 	}
+	// Thinning queries the rate at non-decreasing times, so a cursor
+	// walks the (ascending, disjoint) windows once instead of scanning
+	// the whole list per candidate arrival.
+	idx := 0
 	rate := func(at sim.Time) float64 {
-		for _, w := range bursts {
-			if at >= w.start && at < w.end {
-				return b.BaseRPS * b.Scale
-			}
+		for idx < len(bursts) && at >= bursts[idx].end {
+			idx++
+		}
+		if idx < len(bursts) && at >= bursts[idx].start {
+			return b.BaseRPS * b.Scale
 		}
 		return b.BaseRPS
 	}
@@ -274,6 +279,6 @@ func Merge(seqs ...[]sim.Time) []sim.Time {
 	for _, s := range seqs {
 		out = append(out, s...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
