@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick vet fmt-check ci
+.PHONY: build test test-short test-race-subsys bench bench-quick vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detected pass over the invariant checkers and the workload
+# subsystem (trace parsing, generators) — fast enough for the check
+# gate, where the full -race suite is not.
+test-race-subsys:
+	$(GO) test -race ./internal/simtest/... ./internal/workload/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -34,4 +40,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test-short
+ci: build vet fmt-check test-short test-race-subsys

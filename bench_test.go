@@ -135,6 +135,18 @@ func BenchmarkTrainingProfiler(b *testing.B) {
 // choices against literal Algorithm 2).
 func BenchmarkControllerAblation(b *testing.B) { runExperiment(b, "ablation-controller") }
 
+// BenchmarkSLOSweep runs the SLO pressure sweep over production-shaped
+// workloads (bursty, diurnal, Pareto) across the three schedulers.
+func BenchmarkSLOSweep(b *testing.B) { runExperiment(b, "slo_sweep") }
+
+// BenchmarkTraceReplay replays the committed sample trace against the
+// three schedulers with full SLO accounting.
+func BenchmarkTraceReplay(b *testing.B) { runExperiment(b, "trace_replay") }
+
+// BenchmarkTenantMix runs the multi-tenant Zipf-skew mix across the
+// three schedulers.
+func BenchmarkTenantMix(b *testing.B) { runExperiment(b, "tenant_mix") }
+
 // benchSuite drains the quick-tier drivers through the harness worker
 // pool at the given parallelism; comparing the serial and all-core
 // variants measures the suite-level speedup the harness buys.

@@ -8,6 +8,7 @@
 //	dilu-bench -parallel 8                # drain the suite on 8 workers
 //	dilu-bench -tier quick                # sub-second smoke subset
 //	dilu-bench -seeds 1,2,3 figure9       # multi-seed sweep of one driver
+//	dilu-bench -trace prod.csv            # replay an external arrival trace
 //	dilu-bench -out results -manifest results/manifest.json
 //	dilu-bench -list
 //
@@ -31,6 +32,7 @@ import (
 	"dilu/internal/experiments"
 	"dilu/internal/harness"
 	"dilu/internal/report"
+	"dilu/internal/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -45,6 +47,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-driver wall-clock timeout (0 = none), e.g. 5m")
 	failFast := flag.Bool("failfast", false, "stop dispatching after the first failure")
 	tier := flag.String("tier", "", "run only these cost tiers (comma-separated: quick,standard,slow)")
+	tracePath := flag.String("trace", "", "replay this arrival trace file (.csv or .json) through the trace_replay scenario instead of running registry drivers")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "report format: text, csv, json")
 	outDir := flag.String("out", "", "write per-run reports and the manifest into this directory")
@@ -72,6 +75,26 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *tracePath != "" {
+		// An external trace replaces the run set with one trace_replay
+		// scenario over the loaded file. Mixing it with ids or tiers
+		// would make the manifest ambiguous about what actually ran.
+		if len(flag.Args()) > 0 || *tier != "" {
+			fmt.Fprintln(os.Stderr, "dilu-bench: -trace cannot be combined with experiment ids or -tier")
+			return 2
+		}
+		tr, err := workload.LoadTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dilu-bench: "+err.Error())
+			return 2
+		}
+		drivers = []experiments.Driver{{
+			ID:    "trace_replay",
+			Paper: fmt.Sprintf("external trace replay — %s (%d events)", *tracePath, tr.Count()),
+			Tier:  experiments.TierStandard,
+			Run:   func(o experiments.Options) *report.Report { return experiments.TraceReplayOn(o, tr) },
+		}}
 	}
 	seedList, err := parseSeeds(*seeds, *seed)
 	if err != nil {

@@ -36,3 +36,36 @@ func TestQuickTierGoldenManifest(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceReplayGoldenManifest pins the trace_replay driver — the
+// committed sample trace replayed against all three schedulers, with the
+// SLO block the harness lifts into the manifest — to exact bytes
+// (testdata/golden-trace.json), serial and on all cores. Scenario
+// determinism for the trace subsystem is thereby held to the same
+// standard as the quick tier: parsing, per-function series compilation,
+// replay through ScheduleSeries cursors, and SLO accounting must be
+// bit-stable regardless of worker count.
+//
+// Regenerate (only after an intentional semantic change):
+//
+//	go run ./cmd/dilu-bench -scale 0.1 -parallel 1 -q -manifest testdata/golden-trace.json trace_replay
+func TestTraceReplayGoldenManifest(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden-trace.json")
+	if err != nil {
+		t.Fatalf("golden manifest missing: %v", err)
+	}
+	d, err := experiments.ByID("trace_replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := harness.Jobs([]experiments.Driver{d}, nil, 0.1)
+	for _, parallel := range []int{1, 0} {
+		out := harness.Run(harness.Config{Suite: "dilu-bench", Parallel: parallel}, jobs)
+		if out.Failed() {
+			t.Fatalf("parallel=%d: suite failed:\n%s", parallel, out.Manifest.JSON())
+		}
+		if got := out.Manifest.JSON(); got != string(golden) {
+			t.Errorf("parallel=%d: manifest diverged from golden bytes\ngot:\n%s", parallel, got)
+		}
+	}
+}

@@ -34,6 +34,10 @@ type InferOpts struct {
 	// NoScaler disables horizontal scaling for this function even when
 	// the system has a scaler factory.
 	NoScaler bool
+	// SLO overrides the model's default latency SLO for this deployment
+	// (per-function targets for SLO-pressure scenarios); zero keeps the
+	// model default.
+	SLO sim.Duration
 }
 
 // servedInstance couples a running inference instance with its
@@ -100,9 +104,13 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 	if stages <= 0 {
 		stages = 1
 	}
+	slo := spec.SLO
+	if opts.SLO > 0 {
+		slo = opts.SLO
+	}
 	f := &Function{
 		sys: sys, Name: name, Spec: spec, Profile: prof, Stages: stages,
-		Rec:       metrics.NewLatencyRecorder(name, spec.SLO),
+		Rec:       metrics.NewLatencyRecorder(name, slo),
 		RPSTrace:  metrics.NewSeries(name + "/rps"),
 		InstTrace: metrics.NewSeries(name + "/instances"),
 		pinned:    opts.Pin,

@@ -45,6 +45,12 @@ type Config struct {
 	// Meter, when non-nil, observes the engine's virtual-time progress
 	// (harness throughput accounting). It never affects behaviour.
 	Meter *sim.Meter
+	// Invariants are read-only state checkers run at the end of every
+	// fired tick and at the Run horizon; a violation panics. The default
+	// factory's invariants (see SetDefaultInvariantFactory) are appended
+	// to this list. Checkers never affect results — they are not tickers
+	// and do not keep an idle system from fast-forwarding.
+	Invariants []Invariant
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +113,8 @@ type System struct {
 
 	onTick []func(now sim.Time)
 
+	invariants []Invariant
+
 	horizon sim.Duration
 }
 
@@ -131,6 +139,10 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Meter != nil {
 		sys.Eng.SetMeter(cfg.Meter)
+	}
+	sys.invariants = append(sys.invariants, cfg.Invariants...)
+	if defaultInvariantFactory != nil {
+		sys.invariants = append(sys.invariants, defaultInvariantFactory()...)
 	}
 	switch cfg.Scheduler {
 	case "Dilu":
@@ -269,6 +281,7 @@ func (sys *System) tick(now sim.Time) {
 		fn(now)
 	}
 	sys.updateTickActivity()
+	sys.checkInvariants(now)
 }
 
 // sample runs the 1 Hz control loop: RPS accounting, horizontal scaling,
@@ -283,15 +296,31 @@ func (sys *System) sample(now sim.Time) {
 	}
 }
 
-// Run advances the virtual clock to the horizon.
+// Run advances the virtual clock to the horizon. Attached invariants are
+// verified once more at the horizon: events fired during an idle
+// fast-forward span (scale decisions, keep-alive expiries) would
+// otherwise escape checking when no further tick fires.
 func (sys *System) Run(d sim.Duration) {
 	sys.horizon = sys.Eng.Now() + d
 	sys.Eng.Run(sys.horizon)
+	sys.checkInvariants(sys.Eng.Now())
 }
 
 // GPUSecondsUsed integrates the occupied-GPU trace (for SGT and the cost
 // comparisons of Figure 17).
 func (sys *System) GPUSecondsUsed() float64 { return sys.GPUSeries.Integral() }
+
+// SLOSummary rolls up every deployed inference function's SLO accounting
+// (violations, cold-start attribution, goodput, percentile attainment)
+// over the virtual time elapsed so far. Functions appear in deployment
+// order, so the summary is deterministic.
+func (sys *System) SLOSummary() *metrics.SLOSummary {
+	recs := make([]*metrics.LatencyRecorder, len(sys.funcs))
+	for i, f := range sys.funcs {
+		recs[i] = f.Rec
+	}
+	return metrics.SummarizeSLO(sys.Eng.Now(), recs...)
+}
 
 func (sys *System) nextReqID() int64 {
 	sys.reqSeq++

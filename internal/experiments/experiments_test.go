@@ -59,13 +59,13 @@ func TestEveryDriverDeclaresATier(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d drivers, want 18", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d drivers, want 21", len(all))
 	}
 	want := []string{"figure2", "figure2cd", "table2", "figure4", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "table3",
 		"figure13", "figure14", "figure15", "figure16", "figure17", "figure18",
-		"ablation-controller"}
+		"ablation-controller", "slo_sweep", "trace_replay", "tenant_mix"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("registry[%d] = %s, want %s", i, all[i].ID, id)

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"dilu/internal/core"
+	"dilu/internal/simtest"
+)
+
+// TestMain arms the simtest invariant checkers for every System any
+// driver test builds: quota conservation, non-negative residents,
+// monotone virtual time and active-set consistency are verified on
+// every fired tick of every experiment. The factory hands each System
+// fresh checker instances, so parallel harness jobs stay independent.
+func TestMain(m *testing.M) {
+	core.SetDefaultInvariantFactory(simtest.Checkers)
+	os.Exit(m.Run())
+}

@@ -59,6 +59,9 @@ func All() []Driver {
 		{"figure17", "Figure 17 — large-scale simulation", TierStandard, Figure17},
 		{"figure18", "Figure 18 — sensitivity analyses", TierSlow, Figure18},
 		{"ablation-controller", "DESIGN.md §4.6 — RCKM controller ablations (extra)", TierStandard, ControllerAblation},
+		{"slo_sweep", "SLO pressure sweep over production-shaped workloads (extra)", TierStandard, SLOSweep},
+		{"trace_replay", "Committed sample-trace replay with SLO accounting (extra)", TierStandard, TraceReplay},
+		{"tenant_mix", "Multi-tenant Zipf mix across schedulers (extra)", TierStandard, TenantMixStudy},
 	}
 }
 

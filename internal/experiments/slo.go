@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dilu/internal/core"
+	"dilu/internal/metrics"
+	"dilu/internal/model"
+	"dilu/internal/report"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+// sloSystems are the cluster schedulers the trace/SLO scenarios compare:
+// Dilu's 2D co-scaling against the INFless-style predictive scaler and
+// the FaST-GS-style eager one.
+var sloSystems = []string{"Dilu", "INFless+-r", "FaST-GS+"}
+
+// traceModelCatalog maps trace function-name hints to model catalog
+// entries. Ordered most-specific first and matched in slice order —
+// "bert" is a substring of "roberta", and replay determinism requires
+// the resolution to never depend on iteration order.
+var traceModelCatalog = []struct{ hint, model string }{
+	{"roberta", "RoBERTa-large"},
+	{"resnet", "ResNet152"},
+	{"gpt2", "GPT2-large"},
+	{"bert", "BERT-base"},
+	{"vgg", "VGG19"},
+}
+
+var traceModelFallback = []string{"RoBERTa-large", "BERT-base", "VGG19"}
+
+// modelForTraceFunc resolves a trace function name to a catalog model:
+// substring hints first ("prod-roberta-eu" → RoBERTa-large), then a
+// deterministic round-robin over the fallback list.
+func modelForTraceFunc(fn string, i int) string {
+	lower := strings.ToLower(fn)
+	for _, e := range traceModelCatalog {
+		if strings.Contains(lower, e.hint) {
+			return e.model
+		}
+	}
+	return traceModelFallback[i%len(traceModelFallback)]
+}
+
+// sloRow adds one function's SLO accounting to the per-function table.
+func sloRow(t *report.Table, system string, st metrics.SLOFuncStats) {
+	attain := "no"
+	if st.AttainedP95 {
+		attain = "yes"
+	}
+	t.AddRow(system, st.Func, float64(st.Requests), st.ViolationRate()*100,
+		float64(st.ColdStartViolations), st.GoodputRPS, st.P95Millis, attain)
+}
+
+// sloAggRow adds one system's aggregate SLO accounting.
+func sloAggRow(t *report.Table, system string, sum *metrics.SLOSummary) {
+	t.AddRow(system, float64(sum.Requests), sum.ViolationRate()*100,
+		sum.ColdStartShare()*100, sum.GoodputRPS,
+		sum.P95Attainment*100, sum.P99Attainment*100)
+}
+
+// newSLOFuncTable returns the per-function accounting table shared by
+// the trace/SLO drivers.
+func newSLOFuncTable(caption string) *report.Table {
+	return report.NewTable(caption,
+		"system", "function", "reqs", "SVR %", "cold viol", "goodput rps", "p95 ms", "p95 ok")
+}
+
+// newSLOAggTable returns the per-system aggregate table.
+func newSLOAggTable(caption string) *report.Table {
+	return report.NewTable(caption,
+		"system", "reqs", "SVR %", "cold share %", "goodput rps", "p95 attain %", "p99 attain %")
+}
+
+// SLOSweep sweeps offered load against the three schedulers and accounts
+// SLO attainment, goodput and cold-start-attributed violations at each
+// pressure point — the HAS-GPU-style question ("how does co-scaling
+// degrade as SLO pressure rises?") the paper's fixed-rate scenarios
+// cannot answer. The mix exercises the production-shaped generators:
+// bursty head traffic, a diurnal cycle, and Pareto heavy-tail arrivals;
+// one function carries a deliberately tightened per-function SLO.
+func SLOSweep(opts Options) *report.Report {
+	opts = opts.withDefaults()
+	rep := report.New("slo_sweep", "SLO pressure sweep (trace-driven workloads, extra)")
+	dur := opts.dur(120 * sim.Second)
+
+	perFunc := rep.AddTable(newSLOFuncTable("SLO sweep: per-function accounting at load ×1.0"))
+	agg := rep.AddTable(report.NewTable(
+		"SLO sweep: aggregate accounting by load multiplier",
+		"load ×", "system", "reqs", "SVR %", "cold share %", "goodput rps", "p95 attain %"))
+
+	for _, mult := range []float64{0.5, 1.0, 2.0} {
+		for _, label := range sloSystems {
+			sys := mustClusterSystem(label, 2, 4, opts)
+			deploy := func(name, modelName string, arr workload.Arrivals, slo sim.Duration) {
+				if _, err := sys.DeployInference(name, modelName, core.InferOpts{
+					Instances: 1, Arrivals: arr, SLO: slo,
+				}); err != nil {
+					panic(err)
+				}
+			}
+			deploy("rob-burst", "RoBERTa-large", workload.Bursty{
+				BaseRPS: 15 * mult, Scale: 4, BurstDur: 15 * sim.Second, Quiet: 40 * sim.Second,
+			}, 0)
+			deploy("bert-diurnal", "BERT-base", workload.Diurnal{
+				TroughRPS: 4 * mult, DayRPS: 40 * mult, Period: 120 * sim.Second,
+			}, model.ByName("BERT-base").SLO/2) // tightened per-function target
+			deploy("vgg-pareto", "VGG19", workload.Pareto{RPS: 12 * mult, Alpha: 1.5}, 0)
+			sys.Run(dur)
+			sum := sys.SLOSummary()
+			agg.AddRow(fmt.Sprintf("%.1f", mult), label, float64(sum.Requests),
+				sum.ViolationRate()*100, sum.ColdStartShare()*100,
+				sum.GoodputRPS, sum.P95Attainment*100)
+			if mult == 1.0 {
+				for _, st := range sum.Funcs {
+					sloRow(perFunc, label, st)
+				}
+				if label == "Dilu" {
+					rep.SetSLO(sum)
+				}
+			}
+		}
+	}
+	rep.AddNote("SVR and cold-start share should rise with load on every system; Dilu's vertical headroom keeps goodput closest to offered load")
+	return rep
+}
+
+// TraceReplay replays the committed sample trace (see
+// internal/workload/testdata/traces) against the three schedulers — the
+// registered driver wraps TraceReplayOn so `dilu-bench -trace` can run
+// arbitrary external traces through the identical scenario.
+func TraceReplay(opts Options) *report.Report {
+	return TraceReplayOn(opts, workload.MustSampleTrace("sample_mix"))
+}
+
+// TraceReplayOn replays one parsed arrival trace against the three
+// schedulers with full SLO accounting. Each trace function deploys as
+// its own inference function (model resolved from the name), replaying
+// its exact arrival subsequence through the engine's series cursor.
+func TraceReplayOn(opts Options, tr *workload.Trace) *report.Report {
+	opts = opts.withDefaults()
+	rep := report.New("trace_replay",
+		fmt.Sprintf("Trace replay with SLO accounting (trace %q, %d events, extra)", tr.Label, tr.Count()))
+	dur := opts.dur(tr.Duration())
+	funcs := tr.Functions()
+
+	perFunc := rep.AddTable(newSLOFuncTable(
+		fmt.Sprintf("Trace %q: per-function SLO accounting", tr.Label)))
+	agg := rep.AddTable(newSLOAggTable(
+		fmt.Sprintf("Trace %q: aggregate by system", tr.Label)))
+
+	for _, label := range sloSystems {
+		sys := mustClusterSystem(label, 2, 4, opts)
+		for i, fn := range funcs {
+			if _, err := sys.DeployInference(fn, modelForTraceFunc(fn, i), core.InferOpts{
+				Instances: 1, Arrivals: tr.Arrivals(fn),
+			}); err != nil {
+				panic(err)
+			}
+		}
+		sys.Run(dur)
+		sum := sys.SLOSummary()
+		for _, st := range sum.Funcs {
+			sloRow(perFunc, label, st)
+		}
+		sloAggRow(agg, label, sum)
+		if label == "Dilu" {
+			rep.SetSLO(sum)
+		}
+	}
+	rep.AddNote("replayed through sim.ScheduleSeries cursors: an N-event trace costs one cursor per function, not N heap slots")
+	return rep
+}
+
+// TenantMixStudy runs a multi-tenant Zipf-skewed mix against the three
+// schedulers: head tenants dominate traffic (bursty), tail tenants are
+// sporadic — the popularity regime where keep-alive policy and
+// cold-start attribution separate the schedulers.
+func TenantMixStudy(opts Options) *report.Report {
+	opts = opts.withDefaults()
+	rep := report.New("tenant_mix", "Multi-tenant Zipf mix with SLO accounting (extra)")
+	dur := opts.dur(120 * sim.Second)
+
+	mix := workload.TenantMix{
+		Tenants: 6, TotalRPS: 60, Skew: 1.1,
+		Shape: func(i int, rps float64) workload.Arrivals {
+			if i == 0 {
+				// The head tenant bursts; the tail is Poisson at its
+				// (small) popularity share.
+				return workload.Bursty{BaseRPS: rps, Scale: 3, BurstDur: 15 * sim.Second, Quiet: 45 * sim.Second}
+			}
+			return workload.Poisson{RPS: rps}
+		},
+	}
+	// One split, shared by every system: all three schedulers face the
+	// byte-identical offered load.
+	tenants := mix.Split(sim.NewRNG(opts.Seed), dur)
+
+	weights := rep.AddTable(report.NewTable(
+		"Tenant popularity (Zipf skew 1.1)", "tenant", "weight", "arrivals"))
+	for _, ta := range tenants {
+		weights.AddRow(ta.Name, ta.Weight, float64(len(ta.Times)))
+	}
+
+	perFunc := rep.AddTable(newSLOFuncTable("Tenant mix: per-tenant SLO accounting"))
+	agg := rep.AddTable(newSLOAggTable("Tenant mix: aggregate by system"))
+	for _, label := range sloSystems {
+		sys := mustClusterSystem(label, 2, 4, opts)
+		for i, ta := range tenants {
+			if _, err := sys.DeployInference(ta.Name, traceModelFallback[i%len(traceModelFallback)], core.InferOpts{
+				Instances: 1,
+				Arrivals:  workload.Times{Label: ta.Name, T: ta.Times},
+			}); err != nil {
+				panic(err)
+			}
+		}
+		sys.Run(dur)
+		sum := sys.SLOSummary()
+		for _, st := range sum.Funcs {
+			sloRow(perFunc, label, st)
+		}
+		sloAggRow(agg, label, sum)
+		if label == "Dilu" {
+			rep.SetSLO(sum)
+		}
+	}
+	rep.AddNote("head tenants stress vertical headroom, tail tenants stress keep-alive: cold-start-attributed violations concentrate in the tail")
+	return rep
+}

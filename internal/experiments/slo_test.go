@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+func TestTraceReplayShape(t *testing.T) {
+	rep := TraceReplay(testOpts())
+	if rep.SLO == nil {
+		t.Fatal("trace_replay must attach an SLO summary")
+	}
+	if rep.SLO.Requests == 0 {
+		t.Fatal("no requests accounted")
+	}
+	per := rep.Table("Trace \"sample_mix\": per-function")
+	if per == nil {
+		t.Fatal("missing per-function table")
+	}
+	// 3 systems × 3 trace functions.
+	if len(per.Rows) != 9 {
+		t.Fatalf("per-function rows = %d, want 9", len(per.Rows))
+	}
+	agg := rep.Table("Trace \"sample_mix\": aggregate")
+	if agg == nil || len(agg.Rows) != 3 {
+		t.Fatal("aggregate table wrong")
+	}
+	// Every system faces the identical replayed offered load, so served
+	// request counts agree across systems (all requests complete inside
+	// the horizon slack the SLO pressure leaves at scale 0.1).
+	for _, row := range agg.Rows[1:] {
+		if row[1] == "0" {
+			t.Fatalf("system %s served nothing", row[0])
+		}
+	}
+}
+
+func TestTraceReplayOnCustomTrace(t *testing.T) {
+	tr := &workload.Trace{Label: "tiny", Events: []workload.TraceEvent{
+		{At: sim.Second, Func: "bert-fn"},
+		{At: 2 * sim.Second, Func: "bert-fn"},
+		{At: 3 * sim.Second, Func: "mystery-fn"},
+	}}
+	rep := TraceReplayOn(testOpts(), tr)
+	if rep.SLO == nil || rep.SLO.Requests == 0 {
+		t.Fatalf("custom trace not accounted: %+v", rep.SLO)
+	}
+	if !strings.Contains(rep.Title, "tiny") {
+		t.Fatalf("title %q does not name the trace", rep.Title)
+	}
+}
+
+func TestModelForTraceFunc(t *testing.T) {
+	if m := modelForTraceFunc("prod-roberta-eu", 0); m != "RoBERTa-large" {
+		t.Fatalf("hint mapping: %s", m)
+	}
+	if m := modelForTraceFunc("VGG-serving", 0); m != "VGG19" {
+		t.Fatalf("case-insensitive hint: %s", m)
+	}
+	// Unknown names round-robin deterministically.
+	a, b := modelForTraceFunc("x", 0), modelForTraceFunc("x", 1)
+	if a == b {
+		t.Fatalf("fallback not round-robin: %s/%s", a, b)
+	}
+}
+
+func TestSLOSweepShape(t *testing.T) {
+	rep := SLOSweep(testOpts())
+	if rep.SLO == nil {
+		t.Fatal("slo_sweep must attach an SLO summary")
+	}
+	agg := rep.Table("SLO sweep: aggregate")
+	if agg == nil {
+		t.Fatal("missing aggregate table")
+	}
+	// 3 load multipliers × 3 systems.
+	if len(agg.Rows) != 9 {
+		t.Fatalf("aggregate rows = %d, want 9", len(agg.Rows))
+	}
+	// Offered load, and with it accounted requests, must grow with the
+	// multiplier for every system.
+	reqs := func(mult, system string) float64 {
+		for _, row := range agg.Rows {
+			if row[0] == mult && row[1] == system {
+				v, err := strconv.ParseFloat(row[2], 64)
+				if err != nil {
+					t.Fatalf("bad reqs cell %q", row[2])
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", mult, system)
+		return 0
+	}
+	for _, system := range sloSystems {
+		lo, hi := reqs("0.5", system), reqs("2.0", system)
+		if hi <= lo {
+			t.Fatalf("%s: requests did not grow with load: %.0f → %.0f", system, lo, hi)
+		}
+	}
+}
+
+func TestTenantMixShape(t *testing.T) {
+	rep := TenantMixStudy(testOpts())
+	if rep.SLO == nil {
+		t.Fatal("tenant_mix must attach an SLO summary")
+	}
+	w := rep.Table("Tenant popularity")
+	if w == nil || len(w.Rows) != 6 {
+		t.Fatal("popularity table wrong")
+	}
+	// Zipf head strictly outweighs the tail.
+	head, _ := strconv.ParseFloat(w.Rows[0][1], 64)
+	tail, _ := strconv.ParseFloat(w.Rows[5][1], 64)
+	if head <= 2*tail {
+		t.Fatalf("no skew: head %v tail %v", head, tail)
+	}
+	per := rep.Table("Tenant mix: per-tenant")
+	if per == nil || len(per.Rows) != 18 { // 3 systems × 6 tenants
+		t.Fatal("per-tenant table wrong")
+	}
+}
+
+// TestSLODriversDeterministic pins the reproducibility contract for the
+// new drivers the same way the harness manifest does: two runs at the
+// same (seed, scale) must produce byte-identical reports including the
+// SLO summary JSON.
+func TestSLODriversDeterministic(t *testing.T) {
+	for _, id := range []string{"slo_sweep", "trace_replay", "tenant_mix"} {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := d.Run(testOpts()).JSON()
+		b := d.Run(testOpts()).JSON()
+		if a != b {
+			t.Fatalf("%s: report not deterministic", id)
+		}
+	}
+}

@@ -298,6 +298,7 @@ func buildManifest(suite string, results []Result) *report.Manifest {
 			rec.Fingerprint = report.Fingerprint(r.Report)
 			rec.Tables = len(r.Report.Tables)
 			rec.Series = len(r.Report.Series)
+			rec.SLO = report.SLOBlockOf(r.Report.SLO)
 		}
 		// Timed-out and failed runs may have advanced virtual time, but
 		// the amount is racy (it depends on where the run was cut off),

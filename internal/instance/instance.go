@@ -228,14 +228,17 @@ func (in *Inference) PostTick(now sim.Time) {
 		in.startStep(now, in.Spec.DecodeStepWork(len(in.batch)))
 		return
 	}
-	// Batch complete: record latencies.
+	// Batch complete: record latencies, attributing each sample's
+	// gateway wait (Dispatch − Arrive; positive only when the request
+	// queued for an instance) so SLO accounting can separate cold-start
+	// violations from execution-path ones.
 	for _, req := range in.batch {
 		lat := done - req.Arrive
 		if in.Spec.Generative && in.Spec.AvgOutTokens > 0 {
 			lat = lat / sim.Duration(in.Spec.AvgOutTokens) // time per output token
 		}
 		if in.Rec != nil {
-			in.Rec.Observe(lat)
+			in.Rec.ObserveWait(lat, req.Dispatch-req.Arrive)
 		}
 		in.served++
 	}

@@ -14,13 +14,18 @@ import (
 
 // LatencyRecorder accumulates request latencies for one function and
 // derives the paper's inference metrics: p50/p95/p99 latency and SLO
-// violation rate (SVR).
+// violation rate (SVR), plus the goodput/attribution accounting of the
+// SLO layer (see slo.go).
 type LatencyRecorder struct {
-	name       string
-	slo        sim.Duration
-	samples    []sim.Duration
-	sorted     bool
-	violations int
+	name    string
+	slo     sim.Duration
+	samples []sim.Duration
+	sorted  bool
+	// violations counts samples above the SLO; coldViolations is the
+	// subset whose request waited at the gateway for an instance — the
+	// cold-start/scale-out path — before being dispatched.
+	violations     int
+	coldViolations int
 }
 
 // NewLatencyRecorder creates a recorder for a function with the given SLO.
@@ -35,12 +40,22 @@ func (r *LatencyRecorder) Name() string { return r.name }
 // SLO returns the recorder's SLO target.
 func (r *LatencyRecorder) SLO() sim.Duration { return r.slo }
 
-// Observe records one request latency.
-func (r *LatencyRecorder) Observe(latency sim.Duration) {
+// Observe records one request latency with no gateway-wait attribution.
+func (r *LatencyRecorder) Observe(latency sim.Duration) { r.ObserveWait(latency, 0) }
+
+// ObserveWait records one request latency together with the time the
+// request spent waiting at the gateway for an instance (zero when it was
+// dispatched on arrival). A violating sample with a positive wait is
+// attributed to the cold-start path: the request queued because no
+// active instance could take it.
+func (r *LatencyRecorder) ObserveWait(latency, wait sim.Duration) {
 	r.samples = append(r.samples, latency)
 	r.sorted = false
 	if r.slo > 0 && latency > r.slo {
 		r.violations++
+		if wait > 0 {
+			r.coldViolations++
+		}
 	}
 }
 
@@ -49,6 +64,14 @@ func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
 // Violations returns the number of SLO-violating samples.
 func (r *LatencyRecorder) Violations() int { return r.violations }
+
+// ColdStartViolations returns the violating samples attributed to a
+// gateway wait (the cold-start/scale-out path).
+func (r *LatencyRecorder) ColdStartViolations() int { return r.coldViolations }
+
+// Goodput returns the number of samples that met the SLO. With no SLO
+// configured every sample counts as goodput.
+func (r *LatencyRecorder) Goodput() int { return len(r.samples) - r.violations }
 
 // ViolationRate returns the SLO violation rate in [0,1]; zero when empty.
 func (r *LatencyRecorder) ViolationRate() float64 {
@@ -124,6 +147,7 @@ func (r *LatencyRecorder) Max() sim.Duration {
 func (r *LatencyRecorder) Reset() {
 	r.samples = r.samples[:0]
 	r.violations = 0
+	r.coldViolations = 0
 	r.sorted = true
 }
 

@@ -1,0 +1,125 @@
+// SLO accounting: per-function targets rolled up into the
+// violation/goodput summary the harness manifest records. The paper
+// reports SVR alone; serving systems evaluated against production
+// arrival patterns (HAS-GPU, DeepServe) additionally track percentile
+// attainment, goodput, and how much of the violation mass the cold-start
+// path contributes — which is what this layer adds.
+package metrics
+
+import (
+	"fmt"
+
+	"dilu/internal/sim"
+)
+
+// SLOFuncStats is the per-function SLO accounting of one run.
+type SLOFuncStats struct {
+	Func      string  `json:"func"`
+	SLOMillis float64 `json:"slo_ms"`
+	Requests  int64   `json:"requests"`
+	// Violations counts requests over the SLO; ColdStartViolations is
+	// the subset attributed to a gateway wait for an instance.
+	Violations          int64 `json:"violations"`
+	ColdStartViolations int64 `json:"cold_start_violations"`
+	// GoodputRPS is SLO-met requests per second of horizon.
+	GoodputRPS float64 `json:"goodput_rps"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	// AttainedP95/P99 report whether the percentile latency met the SLO
+	// (vacuously false with no samples, true with no SLO configured).
+	AttainedP95 bool `json:"attained_p95"`
+	AttainedP99 bool `json:"attained_p99"`
+}
+
+// ViolationRate returns the function's SVR in [0,1].
+func (s SLOFuncStats) ViolationRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Violations) / float64(s.Requests)
+}
+
+// SLOSummary rolls per-function SLO accounting up to one run.
+type SLOSummary struct {
+	Funcs []SLOFuncStats `json:"funcs,omitempty"`
+
+	Requests            int64 `json:"requests"`
+	Violations          int64 `json:"violations"`
+	ColdStartViolations int64 `json:"cold_start_violations"`
+	// GoodputRPS is the aggregate SLO-met request rate.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// P95Attainment / P99Attainment are the fractions of functions whose
+	// p95/p99 latency met their SLO.
+	P95Attainment float64 `json:"p95_attainment"`
+	P99Attainment float64 `json:"p99_attainment"`
+}
+
+// ViolationRate returns the aggregate SVR in [0,1].
+func (s *SLOSummary) ViolationRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Violations) / float64(s.Requests)
+}
+
+// ColdStartShare returns the fraction of violations attributed to the
+// cold-start path.
+func (s *SLOSummary) ColdStartShare() float64 {
+	if s.Violations == 0 {
+		return 0
+	}
+	return float64(s.ColdStartViolations) / float64(s.Violations)
+}
+
+func (s *SLOSummary) String() string {
+	return fmt.Sprintf("slo: %d reqs svr=%.2f%% cold-share=%.0f%% goodput=%.1f rps p95-attain=%.0f%%",
+		s.Requests, s.ViolationRate()*100, s.ColdStartShare()*100, s.GoodputRPS, s.P95Attainment*100)
+}
+
+// SummarizeSLO builds the summary over a run's latency recorders (one
+// per function, in the order given — callers pass deployment order so
+// the summary is deterministic). The horizon converts goodput counts to
+// rates.
+func SummarizeSLO(horizon sim.Duration, recs ...*LatencyRecorder) *SLOSummary {
+	sum := &SLOSummary{}
+	seconds := horizon.Seconds()
+	attained95, attained99 := 0, 0
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		slo := r.SLO()
+		st := SLOFuncStats{
+			Func:                r.Name(),
+			SLOMillis:           slo.Millis(),
+			Requests:            int64(r.Count()),
+			Violations:          int64(r.Violations()),
+			ColdStartViolations: int64(r.ColdStartViolations()),
+			P95Millis:           r.P95().Millis(),
+			P99Millis:           r.P99().Millis(),
+		}
+		if seconds > 0 {
+			st.GoodputRPS = float64(r.Goodput()) / seconds
+		}
+		if r.Count() > 0 {
+			st.AttainedP95 = slo <= 0 || r.P95() <= slo
+			st.AttainedP99 = slo <= 0 || r.P99() <= slo
+		}
+		if st.AttainedP95 {
+			attained95++
+		}
+		if st.AttainedP99 {
+			attained99++
+		}
+		sum.Funcs = append(sum.Funcs, st)
+		sum.Requests += st.Requests
+		sum.Violations += st.Violations
+		sum.ColdStartViolations += st.ColdStartViolations
+		sum.GoodputRPS += st.GoodputRPS
+	}
+	if n := len(sum.Funcs); n > 0 {
+		sum.P95Attainment = float64(attained95) / float64(n)
+		sum.P99Attainment = float64(attained99) / float64(n)
+	}
+	return sum
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"dilu/internal/metrics"
 )
 
 // WriteCSV streams every table of the report as CSV sections separated
@@ -62,13 +64,15 @@ func (r *Report) CSV() string {
 	return b.String()
 }
 
-// jsonReport is the stable JSON shape of a report.
+// jsonReport is the stable JSON shape of a report. SLO is omitted when
+// absent, so reports predating the SLO layer keep their fingerprints.
 type jsonReport struct {
-	ID     string       `json:"id"`
-	Title  string       `json:"title"`
-	Tables []jsonTable  `json:"tables,omitempty"`
-	Series []jsonSeries `json:"series,omitempty"`
-	Notes  []string     `json:"notes,omitempty"`
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Tables []jsonTable         `json:"tables,omitempty"`
+	Series []jsonSeries        `json:"series,omitempty"`
+	Notes  []string            `json:"notes,omitempty"`
+	SLO    *metrics.SLOSummary `json:"slo,omitempty"`
 }
 
 type jsonTable struct {
@@ -84,7 +88,7 @@ type jsonSeries struct {
 
 // WriteJSON emits the report as a single JSON document.
 func (r *Report) WriteJSON(w io.Writer) error {
-	out := jsonReport{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	out := jsonReport{ID: r.ID, Title: r.Title, Notes: r.Notes, SLO: r.SLO}
 	for _, t := range r.Tables {
 		out.Tables = append(out.Tables, jsonTable{Caption: t.Caption, Columns: t.Columns, Rows: t.Rows})
 	}

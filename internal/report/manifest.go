@@ -8,6 +8,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"dilu/internal/metrics"
 )
 
 // RunStatus is the outcome of one harness run.
@@ -49,10 +51,43 @@ type RunRecord struct {
 	// Engines is how many independent simulation engines the run used.
 	Engines int64 `json:"engines,omitempty"`
 
+	// SLO carries the run's aggregate SLO accounting when the driver
+	// tracks it (deterministic for a given seed, like the fingerprint).
+	// Absent for drivers without SLO instrumentation, so pre-SLO
+	// manifests keep their bytes.
+	SLO *SLOBlock `json:"slo,omitempty"`
+
 	// Non-deterministic timing, excluded from manifest bytes.
 	WallSeconds float64 `json:"-"`
 	// Throughput is virtual seconds simulated per wall second.
 	Throughput float64 `json:"-"`
+}
+
+// SLOBlock is the compact SLO roll-up a manifest records per run: the
+// aggregate side of metrics.SLOSummary without the per-function detail
+// (which lives in the report itself, covered by the fingerprint).
+type SLOBlock struct {
+	Requests            int64   `json:"requests"`
+	Violations          int64   `json:"violations"`
+	ColdStartViolations int64   `json:"cold_start_violations"`
+	GoodputRPS          float64 `json:"goodput_rps"`
+	P95Attainment       float64 `json:"p95_attainment"`
+	P99Attainment       float64 `json:"p99_attainment"`
+}
+
+// SLOBlockOf compresses a summary into the manifest block; nil in, nil out.
+func SLOBlockOf(s *metrics.SLOSummary) *SLOBlock {
+	if s == nil {
+		return nil
+	}
+	return &SLOBlock{
+		Requests:            s.Requests,
+		Violations:          s.Violations,
+		ColdStartViolations: s.ColdStartViolations,
+		GoodputRPS:          s.GoodputRPS,
+		P95Attainment:       s.P95Attainment,
+		P99Attainment:       s.P99Attainment,
+	}
 }
 
 // RunKey is the canonical identity of a run inside a suite: driver ×

@@ -115,6 +115,10 @@ type Report struct {
 	Tables []*Table
 	Series []*metrics.Series
 	Notes  []string
+	// SLO carries the run's SLO accounting when the experiment tracks
+	// it (per-function targets, violation/goodput totals, cold-start
+	// attribution). The harness lifts it into the suite manifest.
+	SLO *metrics.SLOSummary
 }
 
 // New creates a report.
@@ -133,6 +137,9 @@ func (r *Report) AddSeries(s *metrics.Series) { r.Series = append(r.Series, s) }
 func (r *Report) AddNote(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
+
+// SetSLO attaches the run's SLO accounting summary.
+func (r *Report) SetSLO(s *metrics.SLOSummary) { r.SLO = s }
 
 // Table returns the table with the given caption prefix, or nil.
 func (r *Report) Table(captionPrefix string) *Table {
@@ -155,6 +162,9 @@ func (r *Report) String() string {
 	for _, s := range r.Series {
 		b.WriteByte('\n')
 		renderSeries(&b, s)
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(&b, "\n%s\n", r.SLO.String())
 	}
 	if len(r.Notes) > 0 {
 		b.WriteByte('\n')

@@ -91,6 +91,21 @@ func (g *RNG) GammaInterArrival(meanGap, cv float64) float64 {
 	return g.Gamma(shape, scale)
 }
 
+// Pareto samples a Pareto(alpha, xm) variate by inverse transform:
+// xm / U^(1/alpha). Heavy-tailed inter-arrival gaps with tail exponent
+// alpha drive the bursty production workloads (most gaps tiny, rare gaps
+// enormous).
+func (g *RNG) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 {
+		return 0
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
 // Poisson samples a Poisson(lambda) count (Knuth for small lambda, normal
 // approximation for large).
 func (g *RNG) Poisson(lambda float64) int {

@@ -1,0 +1,220 @@
+// Package simtest provides invariant checkers for the simulation kernel
+// and the core world loop — the testing counterpart of the PR-2 active-set
+// refactor. Checkers attach through core.Config.Invariants (or globally
+// via core.SetDefaultInvariantFactory from a TestMain) and verify, at
+// every fired tick and at the run horizon, that the incremental indexes
+// the hot path trusts — GPU quota sums, device memory accounting, tick
+// active sets — still agree with the ground truth recomputed from first
+// principles.
+//
+// Checkers are read-only and hold any per-run state (the monotone-time
+// watermark) in closures, so every System must get fresh instances:
+// always install the Checkers factory, never a shared slice.
+package simtest
+
+import (
+	"fmt"
+	"math"
+
+	"dilu/internal/core"
+	"dilu/internal/instance"
+	"dilu/internal/sim"
+)
+
+// quotaEps absorbs float accumulation drift in quota sums: reservations
+// are added and subtracted in varying order over thousands of
+// placements, which is exactly the drift the conservation check must
+// tolerate while still catching real leaks (a leaked placement is off
+// by whole quota units, not 1e-9ths).
+const quotaEps = 1e-6
+
+// Checkers returns one fresh instance of every invariant, ready for
+// core.Config.Invariants or core.SetDefaultInvariantFactory.
+func Checkers() []core.Invariant {
+	return []core.Invariant{
+		QuotaConservation(),
+		NoNegativeResidents(),
+		MonotoneTime(),
+		ActiveSetConsistency(),
+	}
+}
+
+// QuotaConservation verifies the cluster's incremental bookkeeping
+// against ground truth: every GPU's SM request/limit and memory sums
+// must equal the recomputation over its placements, memory must fit the
+// card, the active-GPU index must match placement state exactly, and a
+// GPU's device-side memory reservation must mirror the placement-side
+// one.
+func QuotaConservation() core.Invariant {
+	return core.Invariant{
+		Name: "quota-conservation",
+		Check: func(sys *core.System, now sim.Time) error {
+			clu := sys.Clu
+			occupied := 0
+			for _, g := range clu.GPUs() {
+				var req, lim, treq, mem float64
+				for _, p := range g.Placements {
+					req += p.Req
+					lim += p.Lim
+					if p.TrueReq > 0 {
+						treq += p.TrueReq
+					} else {
+						treq += p.Req
+					}
+					mem += p.MemMB
+				}
+				if math.Abs(req-g.SumReq) > quotaEps || math.Abs(lim-g.SumLim) > quotaEps ||
+					math.Abs(treq-g.SumTrueReq) > quotaEps || math.Abs(mem-g.MemUsedMB) > quotaEps {
+					return fmt.Errorf("%s: quota sums drifted: req %.9f≠%.9f lim %.9f≠%.9f true %.9f≠%.9f mem %.3f≠%.3f",
+						g.ID, g.SumReq, req, g.SumLim, lim, g.SumTrueReq, treq, g.MemUsedMB, mem)
+				}
+				if g.MemUsedMB > g.MemCapMB+quotaEps {
+					return fmt.Errorf("%s: memory over capacity: %.1f > %.1f MB", g.ID, g.MemUsedMB, g.MemCapMB)
+				}
+				if g.Active() {
+					occupied++
+				}
+				if g.Dev != nil {
+					var devMem float64
+					for _, r := range g.Dev.Residents() {
+						devMem += r.MemMB
+					}
+					if math.Abs(devMem-g.Dev.MemUsedMB()) > quotaEps {
+						return fmt.Errorf("%s: device memory drifted: %.3f ≠ Σ residents %.3f", g.ID, g.Dev.MemUsedMB(), devMem)
+					}
+					if math.Abs(g.Dev.MemUsedMB()-g.MemUsedMB) > quotaEps {
+						return fmt.Errorf("%s: device/placement memory split brain: dev %.3f vs placements %.3f",
+							g.ID, g.Dev.MemUsedMB(), g.MemUsedMB)
+					}
+				}
+			}
+			if occupied != clu.OccupiedCount() {
+				return fmt.Errorf("occupied-GPU index drifted: index %d, ground truth %d", clu.OccupiedCount(), occupied)
+			}
+			active := clu.ActiveGPUs()
+			if len(active) != occupied {
+				return fmt.Errorf("active-GPU list has %d entries, ground truth %d", len(active), occupied)
+			}
+			for i, g := range active {
+				if !g.Active() {
+					return fmt.Errorf("active-GPU list holds idle GPU %s", g.ID)
+				}
+				if i > 0 && active[i-1].Pos() >= g.Pos() {
+					return fmt.Errorf("active-GPU list out of inventory order at %s", g.ID)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// NoNegativeResidents verifies device-side execution state: resident
+// counts, pending block demand, token grants and memory can never go
+// negative, and a detached resident can never linger on a device.
+func NoNegativeResidents() core.Invariant {
+	return core.Invariant{
+		Name: "no-negative-residents",
+		Check: func(sys *core.System, now sim.Time) error {
+			for _, g := range sys.Clu.GPUs() {
+				if g.Dev == nil {
+					continue
+				}
+				if g.Dev.MemUsedMB() < -quotaEps {
+					return fmt.Errorf("%s: negative device memory %.3f", g.ID, g.Dev.MemUsedMB())
+				}
+				if got, want := g.Dev.ResidentCount(), len(g.Dev.Residents()); got != want {
+					return fmt.Errorf("%s: resident count %d ≠ list length %d", g.ID, got, want)
+				}
+				for _, r := range g.Dev.Residents() {
+					if r.Pending() < 0 {
+						return fmt.Errorf("%s/%s: negative pending demand %.3f", g.ID, r.ID, r.Pending())
+					}
+					if r.Grant() < 0 {
+						return fmt.Errorf("%s/%s: negative token grant %.3f", g.ID, r.ID, r.Grant())
+					}
+					if r.MemMB < 0 {
+						return fmt.Errorf("%s/%s: negative resident memory %.3f", g.ID, r.ID, r.MemMB)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MonotoneTime verifies the virtual clock never runs backwards across
+// checks and that checks observe the engine's own Now. State (the
+// watermark) lives in the closure — one instance per system.
+func MonotoneTime() core.Invariant {
+	last := sim.Time(-1)
+	return core.Invariant{
+		Name: "monotone-virtual-time",
+		Check: func(sys *core.System, now sim.Time) error {
+			if now < last {
+				return fmt.Errorf("virtual time went backwards: %s after %s", now, last)
+			}
+			if eng := sys.Eng.Now(); now > eng {
+				return fmt.Errorf("check time %s ahead of engine clock %s", now, eng)
+			}
+			last = now
+			return nil
+		},
+	}
+}
+
+// ActiveSetConsistency verifies the tick loop's active sets against the
+// busy state they index:
+//
+//   - every busy instance runtime (queued or in-flight inference work,
+//     an unfinished active training job) is in the instance active set —
+//     the direction that must hold at every instant, since a busy
+//     runtime outside the set stops being ticked and its work stalls
+//     silently (the converse, a lingering idle member, is legal between
+//     sweeps);
+//   - the set's list and index agree on membership size;
+//   - a manager is in the manager set exactly while it has registered
+//     clients, and a device is in the execution set exactly while it has
+//     residents — attach/detach maintain both directions immediately.
+func ActiveSetConsistency() core.Invariant {
+	return core.Invariant{
+		Name: "active-set-consistency",
+		Check: func(sys *core.System, now sim.Time) error {
+			list, index := sys.ActiveSetSizes()
+			if list != index {
+				return fmt.Errorf("instance active set split brain: list %d vs index %d", list, index)
+			}
+			var err error
+			for _, f := range sys.Functions() {
+				f.VisitInstances(func(in *instance.Inference, warm bool) {
+					if err == nil && in.Busy() && !sys.InActiveSet(in) {
+						err = fmt.Errorf("busy instance %s (warm=%v) missing from active set", in.ID, warm)
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+			for _, tj := range sys.Jobs() {
+				if tj.Job != nil && tj.Job.Busy() && !sys.InActiveSet(tj.Job) {
+					return fmt.Errorf("busy training job %s missing from active set", tj.Name)
+				}
+			}
+			for _, g := range sys.Clu.GPUs() {
+				m := sys.Manager(g)
+				if m != nil {
+					if hasClients := len(m.Clients()) > 0; hasClients != sys.ManagerInActiveSet(m) {
+						return fmt.Errorf("%s: manager active-set membership %v but %d clients",
+							g.ID, sys.ManagerInActiveSet(m), len(m.Clients()))
+					}
+				}
+				if g.Dev != nil {
+					if hasRes := g.Dev.ResidentCount() > 0; hasRes != sys.DeviceInActiveSet(g.Dev) {
+						return fmt.Errorf("%s: device active-set membership %v but %d residents",
+							g.ID, sys.DeviceInActiveSet(g.Dev), g.Dev.ResidentCount())
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -94,10 +94,18 @@ func (g Gamma) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
 
 // RateFunc is a non-homogeneous Poisson process whose instantaneous rate
 // is given by RPS(t). It is the building block for the Azure-style traces.
+//
+// Thinning queries RPS at non-decreasing times within one Generate, so
+// implementations may keep a monotone cursor over precomputed rate
+// segments. A stateful RPS must supply Reset so a reused RateFunc value
+// replays identically: Generate rewinds the cursor before every run.
 type RateFunc struct {
 	Label string
 	RPS   func(t sim.Time) float64
 	Peak  float64 // an upper bound of RPS over the horizon, for thinning
+	// Reset rewinds any cursor state inside RPS to time zero. Called at
+	// the start of every Generate; nil means RPS is stateless.
+	Reset func()
 }
 
 // Name implements Arrivals.
@@ -107,6 +115,9 @@ func (r RateFunc) Name() string { return r.Label }
 func (r RateFunc) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
 	if r.Peak <= 0 {
 		return nil
+	}
+	if r.Reset != nil {
+		r.Reset()
 	}
 	var out []sim.Time
 	t := sim.Time(0)
@@ -135,8 +146,12 @@ type Bursty struct {
 // Name implements Arrivals.
 func (b Bursty) Name() string { return "bursty" }
 
-// Generate implements Arrivals.
-func (b Bursty) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+// rateFunc precomputes the burst windows and returns the thinning
+// process over them. The rate closure keeps a monotone cursor over the
+// (ascending, disjoint) windows instead of scanning the whole list per
+// candidate arrival; the cursor is declared through RateFunc.Reset so a
+// replayed RateFunc rewinds it instead of resuming past the last burst.
+func (b Bursty) rateFunc(rng *sim.RNG, dur sim.Duration) RateFunc {
 	burstDur := b.BurstDur
 	if burstDur <= 0 {
 		burstDur = 20 * sim.Second
@@ -153,20 +168,26 @@ func (b Bursty) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
 		bursts = append(bursts, window{t, t + burstDur})
 		t += burstDur + sim.Time(float64(quiet)*(0.5+rng.Float64()))
 	}
-	// Thinning queries the rate at non-decreasing times, so a cursor
-	// walks the (ascending, disjoint) windows once instead of scanning
-	// the whole list per candidate arrival.
 	idx := 0
-	rate := func(at sim.Time) float64 {
-		for idx < len(bursts) && at >= bursts[idx].end {
-			idx++
-		}
-		if idx < len(bursts) && at >= bursts[idx].start {
-			return b.BaseRPS * b.Scale
-		}
-		return b.BaseRPS
+	return RateFunc{
+		Label: "bursty",
+		RPS: func(at sim.Time) float64 {
+			for idx < len(bursts) && at >= bursts[idx].end {
+				idx++
+			}
+			if idx < len(bursts) && at >= bursts[idx].start {
+				return b.BaseRPS * b.Scale
+			}
+			return b.BaseRPS
+		},
+		Peak:  b.BaseRPS * b.Scale,
+		Reset: func() { idx = 0 },
 	}
-	return RateFunc{Label: "bursty", RPS: rate, Peak: b.BaseRPS * b.Scale}.Generate(rng, dur)
+}
+
+// Generate implements Arrivals.
+func (b Bursty) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
+	return b.rateFunc(rng, dur).Generate(rng, dur)
 }
 
 // Periodic synthesizes the Azure "Periodic" trace class: a smooth

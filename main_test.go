@@ -1,0 +1,28 @@
+package dilu
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"dilu/internal/core"
+	"dilu/internal/simtest"
+)
+
+// TestMain arms the simtest invariant checkers for the suite-level
+// tests (golden manifests): every System built by a driver run from
+// this package is verified on every fired tick. The checkers are
+// read-only and do not affect tick activity, so golden manifest bytes
+// are identical with and without them — which is itself part of what
+// the golden tests pin.
+//
+// Benchmark invocations (-bench) stay unchecked: the per-tick scans
+// would contaminate comparisons against bench/baseline.txt, which was
+// recorded without checkers.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if b := flag.Lookup("test.bench"); b == nil || b.Value.String() == "" {
+		core.SetDefaultInvariantFactory(simtest.Checkers)
+	}
+	os.Exit(m.Run())
+}
