@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race-subsys bench bench-quick vet fmt-check ci
+.PHONY: build test test-short test-race-subsys bench bench-quick bench-gate bench-baseline vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -14,22 +14,53 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detected pass over the invariant checkers and the workload
-# subsystem (trace parsing, generators) — fast enough for the check
-# gate, where the full -race suite is not.
+# Race-detected pass over the invariant checkers, the workload
+# subsystem (trace parsing, generators), and the cluster index property
+# tests — fast enough for the check gate, where the full -race suite is
+# not.
 test-race-subsys:
-	$(GO) test -race ./internal/simtest/... ./internal/workload/...
+	$(GO) test -race ./internal/simtest/... ./internal/workload/... ./internal/cluster/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # One-iteration sweep of the suite benchmarks with allocation counts, in
-# benchstat-comparable form. Compare against the committed baseline with
+# benchstat-comparable form (-short keeps the hyperscale sizes out; run
+# `make bench` for the full sweep). Compare against the committed
+# baseline with
 #   make bench-quick > /tmp/new.txt && benchstat bench/baseline.txt /tmp/new.txt
 # (single-iteration numbers are noisy; treat benchstat deltas under ~20%
 # as noise and re-run with -count before acting on them).
 bench-quick:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# Pinned-benchmark regression gate: re-run the pinned benchmarks (best
+# of -count 3 as the noise floor) and fail on >10% ns/op regression
+# against bench/baseline.txt. cmd/bench-gate is the dependency-free
+# benchstat stand-in. The -bench regex is derived from
+# PINNED_BENCHMARKS so the run set and the gated set cannot drift.
+# Recipes avoid `test | tee` because the default shell has no pipefail —
+# a crashing benchmark must fail the target even mid-log.
+PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial
+empty :=
+space := $(empty) $(empty)
+PINNED_BENCH_RE = ^($(subst $(space),|,$(strip $(PINNED_BENCHMARKS))))$$
+BENCH_GATE_OUT ?= /tmp/dilu-bench-gate.txt
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(PINNED_BENCH_RE)' -benchtime 1x -count 3 -benchmem . \
+		> $(BENCH_GATE_OUT) || { cat $(BENCH_GATE_OUT); exit 1; }
+	@cat $(BENCH_GATE_OUT)
+	$(GO) run ./cmd/bench-gate -baseline bench/baseline.txt -new $(BENCH_GATE_OUT) -max-regress 0.10 $(PINNED_BENCHMARKS)
+
+# Refresh the committed baseline after an intentional perf change: the
+# full -short sweep for benchstat visibility, plus -count 3 of the
+# pinned benchmarks so the gate's best-of-3 comparison is symmetric
+# (bench-gate takes the per-name minimum across the whole file — a
+# single unlucky baseline sample would otherwise inflate the tolerated
+# regression by the run-to-run noise margin).
+bench-baseline:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x -benchmem . > bench/baseline.txt
+	$(GO) test -run '^$$' -bench '$(PINNED_BENCH_RE)' -benchtime 1x -count 3 -benchmem . >> bench/baseline.txt
 
 vet:
 	$(GO) vet ./...

@@ -110,6 +110,35 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkHyperscalePlacement demonstrates that placement cost tracks
+// *feasible candidates*, not cluster size: the same 3,200-instance
+// batch on 4k vs 40k GPUs costs nearly the same (a full-scan scheduler
+// pays ~10× there), and the full 32k-instance hyperscale batch grows
+// with the work actually placed. Excluded from CI's bench-smoke via
+// -short (the 32k case dominates suite wall time); run it with
+// `make bench` or `go test -bench HyperscalePlacement -benchtime 1x .`.
+func BenchmarkHyperscalePlacement(b *testing.B) {
+	if testing.Short() {
+		b.Skip("hyperscale sizes are excluded from the short/CI bench sweep")
+	}
+	for _, bc := range []struct {
+		name        string
+		nodes, inst int
+	}{
+		{"nodes=1000/inst=3200", 1000, 3200},
+		{"nodes=10000/inst=3200", 10000, 3200},
+		{"nodes=10000/inst=32000", 10000, 32000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if placed := experiments.ScheduleBatchOn(bc.nodes, bc.inst, 1); placed < bc.inst*9/10 {
+					b.Fatalf("placed only %d/%d instances", placed, bc.inst)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHGSS measures one hybrid-growth profiling search.
 func BenchmarkHGSS(b *testing.B) {
 	spec := model.ByName("RoBERTa-large")

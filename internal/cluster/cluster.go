@@ -11,11 +11,17 @@
 // no O(cluster) work: the active-GPU set is maintained (in inventory
 // order) on every placement transition, the first-inactive lookup is a
 // lazy min-heap over inventory positions, and per-GPU function
-// membership is counted instead of rescanned.
+// membership is counted instead of rescanned. Two further indexes make
+// placement sub-linear in cluster size: a function→hosting-GPUs posting
+// index (FuncGPUs, kept in inventory order) lets workload-affinity
+// lookups enumerate only the GPUs that actually host a function, and an
+// occupancy index (OccupancyBucket) buckets active GPUs by ΣReq with
+// lazy compaction so best-fit scans touch only feasible occupancy bands.
 package cluster
 
 import (
 	"fmt"
+	"slices"
 
 	"dilu/internal/gpu"
 )
@@ -62,6 +68,13 @@ type GPU struct {
 	pos int
 	// funcCounts counts placements per function, making HostsFunc O(1).
 	funcCounts map[string]int
+	// occIdx is the occupancy bucket of the GPU's most recent ΣReq
+	// recording; occMask has bit b set iff an entry for this GPU
+	// currently sits in the cluster's occ[b] slice (stale entries stay
+	// until lazily compacted, and the mask keeps a GPU cycling through
+	// buckets from accumulating duplicates).
+	occIdx  int
+	occMask uint64
 }
 
 // Active reports whether any instance is placed on the GPU.
@@ -88,8 +101,14 @@ func (g *GPU) Place(p *Placement) error {
 		g.funcCounts = make(map[string]int, 4)
 	}
 	g.funcCounts[p.Func]++
-	if len(g.Placements) == 1 && g.clu != nil {
-		g.clu.noteActivated(g)
+	if g.clu != nil {
+		if len(g.Placements) == 1 {
+			g.clu.noteActivated(g)
+		}
+		if g.funcCounts[p.Func] == 1 {
+			g.clu.notePostingAdd(p.Func, g)
+		}
+		g.clu.noteOccupancy(g)
 	}
 	return nil
 }
@@ -105,9 +124,19 @@ func (g *GPU) Remove(p *Placement) {
 			g.MemUsedMB -= p.MemMB
 			if g.funcCounts[p.Func]--; g.funcCounts[p.Func] <= 0 {
 				delete(g.funcCounts, p.Func)
+				if g.clu != nil {
+					g.clu.notePostingRemove(p.Func, g)
+				}
 			}
-			if len(g.Placements) == 0 && g.clu != nil {
-				g.clu.noteDeactivated(g)
+			if g.clu != nil {
+				if len(g.Placements) == 0 {
+					// The occupancy entry goes stale with the GPU; it is
+					// compacted away (or revalidated by a reactivation)
+					// lazily, like the free-heap entries.
+					g.clu.noteDeactivated(g)
+				} else {
+					g.clu.noteOccupancy(g)
+				}
 			}
 			return
 		}
@@ -155,6 +184,21 @@ type Cluster struct {
 	// takenScratch backs AppendInactive's pop-and-restore, reused across
 	// calls (the cluster's mutating lookups are single-threaded).
 	takenScratch []int
+
+	// posting maps a function name to the GPUs currently hosting at
+	// least one of its placements, in inventory order — the posting list
+	// workload-affinity lookups enumerate instead of scanning all active
+	// GPUs. Lists are maintained eagerly on 0↔1 per-GPU count
+	// transitions, and a function's key is deleted when its last
+	// placement leaves so the map tracks live functions only.
+	posting map[string][]*GPU
+	// occ buckets active GPUs by ΣReq (bucket b holds ΣReq in
+	// [b/64, (b+1)/64), clamped into the top bucket): the occupancy
+	// index best-fit scans walk from the most-occupied feasible bucket
+	// downward instead of over all active GPUs. Entries are appended on
+	// ΣReq changes and compacted lazily on read; GPU.occIdx/occMask
+	// identify the live entry.
+	occ [OccupancyBuckets][]*GPU
 }
 
 // Config controls cluster construction.
@@ -176,7 +220,7 @@ func New(cfg Config) *Cluster {
 	if cfg.MemCapMB <= 0 {
 		cfg.MemCapMB = gpu.DefaultMemoryMB
 	}
-	c := &Cluster{}
+	c := &Cluster{posting: make(map[string][]*GPU)}
 	for n := 0; n < cfg.Nodes; n++ {
 		node := &Node{ID: fmt.Sprintf("node-%d", n)}
 		for i := 0; i < cfg.GPUsPerNode; i++ {
@@ -337,6 +381,104 @@ func (c *Cluster) AppendInactive(dst []*GPU, k int) []*GPU {
 // OccupiedCount returns the number of active GPUs — the scheduling
 // objective Σ g_i of Equation (1).
 func (c *Cluster) OccupiedCount() int { return len(c.active) }
+
+// ---------------------------------------------------------------------------
+// Function posting index.
+
+// FuncGPUs returns the GPUs hosting at least one placement of fn, in
+// inventory order. The slice is the cluster's live posting list —
+// callers must treat it as read-only and must not hold it across
+// placement changes. Nil when no GPU hosts the function.
+func (c *Cluster) FuncGPUs(fn string) []*GPU { return c.posting[fn] }
+
+// postingIndex returns the insertion point of pos in fn's posting list
+// (lower bound by inventory position).
+func postingIndex(list []*GPU, pos int) int {
+	lo, _ := slices.BinarySearchFunc(list, pos, func(g *GPU, p int) int { return g.pos - p })
+	return lo
+}
+
+// notePostingAdd records that g now hosts fn (its per-GPU count went
+// 0→1), keeping the posting list in inventory order.
+func (c *Cluster) notePostingAdd(fn string, g *GPU) {
+	list := c.posting[fn]
+	c.posting[fn] = slices.Insert(list, postingIndex(list, g.pos), g)
+}
+
+// notePostingRemove records that g no longer hosts fn (count 1→0). The
+// key is deleted when the list empties so the map never accumulates
+// dead function names (§5.5-style mixes use per-instance names).
+func (c *Cluster) notePostingRemove(fn string, g *GPU) {
+	list := c.posting[fn]
+	lo := postingIndex(list, g.pos)
+	if lo >= len(list) || list[lo] != g {
+		return
+	}
+	list = slices.Delete(list, lo, lo+1)
+	if len(list) == 0 {
+		delete(c.posting, fn)
+	} else {
+		c.posting[fn] = list
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy index.
+
+// OccupancyBuckets is the resolution of the occupancy index: active
+// GPUs are bucketed by ΣReq into bands of width 1/OccupancyBuckets,
+// with everything at or above 1.0 clamped into the top bucket.
+const OccupancyBuckets = 64
+
+// OccupancyBucketOf returns the bucket index a GPU with the given ΣReq
+// belongs to. Negative inputs (float residue after removals) clamp to
+// bucket 0, values ≥ 1 to the top bucket.
+func OccupancyBucketOf(sumReq float64) int {
+	idx := int(sumReq * OccupancyBuckets)
+	if idx < 0 {
+		return 0
+	}
+	if idx >= OccupancyBuckets {
+		return OccupancyBuckets - 1
+	}
+	return idx
+}
+
+// noteOccupancy records g's current ΣReq in the occupancy index. The
+// previous bucket's entry (if different) is left stale and compacted
+// lazily; occMask dedups re-insertions into a bucket that still holds a
+// stale entry, which then simply becomes valid again.
+func (c *Cluster) noteOccupancy(g *GPU) {
+	idx := OccupancyBucketOf(g.SumReq)
+	g.occIdx = idx
+	if g.occMask&(1<<idx) == 0 {
+		g.occMask |= 1 << idx
+		c.occ[idx] = append(c.occ[idx], g)
+	}
+}
+
+// OccupancyBucket compacts bucket b and returns the active GPUs whose
+// current ΣReq falls in it. Order within a bucket is not specified —
+// consumers needing the tie order of an inventory scan must rank by
+// (key, Pos()) lexicographically. The returned slice is the cluster's
+// live index: read-only, not to be held across placement changes.
+func (c *Cluster) OccupancyBucket(b int) []*GPU {
+	bucket := c.occ[b]
+	kept := bucket[:0]
+	for _, g := range bucket {
+		if g.Active() && g.occIdx == b {
+			kept = append(kept, g)
+		} else {
+			g.occMask &^= 1 << b // stale: deactivated or moved buckets
+		}
+	}
+	// Zero the evicted tail so stale *GPU pointers don't pin memory.
+	for i := len(kept); i < len(bucket); i++ {
+		bucket[i] = nil
+	}
+	c.occ[b] = kept
+	return kept
+}
 
 // Stats aggregates the fragmentation view of the cluster.
 type Stats struct {

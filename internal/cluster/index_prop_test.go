@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// These property tests drive random Place/Remove/Drain interleavings
+// and, after every operation, require each incremental index — the
+// function posting lists, the occupancy buckets, the active list, and
+// the free heap — to agree exactly with a from-scratch recomputation
+// over the inventory. They run under -race via `make test-race-subsys`.
+
+// checkIndexesConsistent recomputes every index from the placements and
+// compares. The occupancy comparison goes through OccupancyBucket (the
+// read API), so lazy compaction is exercised, and duplicates inside a
+// bucket are a failure in their own right.
+func checkIndexesConsistent(t *testing.T, c *Cluster, step int) {
+	t.Helper()
+
+	// Active list: GPUs with placements, in inventory order.
+	var wantActive []*GPU
+	for _, g := range c.gpus {
+		if g.Active() {
+			wantActive = append(wantActive, g)
+		}
+	}
+	if !slices.Equal(wantActive, c.ActiveGPUs()) {
+		t.Fatalf("step %d: active list diverged (len %d vs %d)",
+			step, len(c.ActiveGPUs()), len(wantActive))
+	}
+
+	// Posting index: for every function with a live placement, the
+	// hosting GPUs in inventory order; and no dead keys linger.
+	wantPosting := map[string][]*GPU{}
+	for _, g := range c.gpus {
+		for fn := range g.funcCounts {
+			wantPosting[fn] = append(wantPosting[fn], g)
+		}
+	}
+	for fn, want := range wantPosting {
+		slices.SortFunc(want, func(a, b *GPU) int { return a.pos - b.pos })
+		if got := c.FuncGPUs(fn); !slices.Equal(want, got) {
+			t.Fatalf("step %d: posting list for %q diverged: got %d GPUs, want %d",
+				step, fn, len(got), len(want))
+		}
+	}
+	for fn := range c.posting {
+		if _, ok := wantPosting[fn]; !ok {
+			t.Fatalf("step %d: posting index retains dead function %q", step, fn)
+		}
+	}
+
+	// Occupancy index: every active GPU appears in exactly the bucket
+	// its current ΣReq maps to, exactly once, and in no other bucket.
+	seen := map[*GPU]int{}
+	for b := 0; b < OccupancyBuckets; b++ {
+		for _, g := range c.OccupancyBucket(b) {
+			if prev, dup := seen[g]; dup {
+				t.Fatalf("step %d: %s appears in buckets %d and %d", step, g.ID, prev, b)
+			}
+			seen[g] = b
+			if want := OccupancyBucketOf(g.SumReq); want != b {
+				t.Fatalf("step %d: %s (ΣReq=%v) in bucket %d, want %d",
+					step, g.ID, g.SumReq, b, want)
+			}
+			if !g.Active() {
+				t.Fatalf("step %d: inactive %s surfaced from bucket %d", step, g.ID, b)
+			}
+		}
+	}
+	if len(seen) != len(wantActive) {
+		t.Fatalf("step %d: occupancy index covers %d GPUs, want %d active",
+			step, len(seen), len(wantActive))
+	}
+
+	// Free index: FirstInactive returns the earliest inactive GPU.
+	var wantFirst *GPU
+	for _, g := range c.gpus {
+		if !g.Active() {
+			wantFirst = g
+			break
+		}
+	}
+	if got := c.FirstInactive(); got != wantFirst {
+		t.Fatalf("step %d: FirstInactive = %v, want %v", step, got, wantFirst)
+	}
+}
+
+// TestIndexConsistencyProperty interleaves placements, removals, and
+// whole-GPU drains under a seeded RNG and checks full index/recompute
+// agreement after every single operation.
+func TestIndexConsistencyProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			c := New(Config{Nodes: 4, GPUsPerNode: 3, MemCapMB: 1 << 20})
+			funcs := []string{"bert", "resnet", "llama", "gpt2", "vgg"}
+			var live []*Placement
+			onGPU := map[*Placement]*GPU{}
+			steps := 400
+			if testing.Short() {
+				steps = 120
+			}
+			for step := 0; step < steps; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(live) == 0: // place
+					g := c.gpus[rng.Intn(len(c.gpus))]
+					p := &Placement{
+						Instance: fmt.Sprintf("i%d", step),
+						Func:     funcs[rng.Intn(len(funcs))],
+						Req:      float64(rng.Intn(1000)) / 999, // hits 0 and 1 exactly
+						Lim:      rng.Float64() * 1.5,
+						MemMB:    float64(rng.Intn(4096)),
+					}
+					if err := g.Place(p); err == nil {
+						live = append(live, p)
+						onGPU[p] = g
+					}
+				case op < 8: // remove one
+					i := rng.Intn(len(live))
+					p := live[i]
+					onGPU[p].Remove(p)
+					delete(onGPU, p)
+					live = slices.Delete(live, i, i+1)
+				default: // drain a whole GPU
+					g := c.gpus[rng.Intn(len(c.gpus))]
+					for len(g.Placements) > 0 {
+						p := g.Placements[len(g.Placements)-1]
+						g.Remove(p)
+						delete(onGPU, p)
+						if i := slices.Index(live, p); i >= 0 {
+							live = slices.Delete(live, i, i+1)
+						}
+					}
+				}
+				checkIndexesConsistent(t, c, step)
+			}
+		})
+	}
+}
+
+// TestOccupancyBucketBoundaries pins the clamping behavior the
+// schedulers' bucket-walk pruning relies on.
+func TestOccupancyBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		sum  float64
+		want int
+	}{
+		{-1e-15, 0}, {0, 0}, {1.0 / OccupancyBuckets, 1},
+		{0.25, 16}, {0.9999, OccupancyBuckets - 1},
+		{1.0, OccupancyBuckets - 1}, {1.7, OccupancyBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := OccupancyBucketOf(tc.sum); got != tc.want {
+			t.Fatalf("OccupancyBucketOf(%v) = %d, want %d", tc.sum, got, tc.want)
+		}
+	}
+}
+
+// TestPostingIndexBasics covers the eager 0↔1 transitions directly:
+// replicas of one function on a GPU must not duplicate posting entries,
+// and the last replica leaving must drop the GPU (and eventually the
+// key).
+func TestPostingIndexBasics(t *testing.T) {
+	c := New(Config{Nodes: 1, GPUsPerNode: 3})
+	g0, g2 := c.gpus[0], c.gpus[2]
+	p1 := &Placement{Instance: "a", Func: "f", Req: 0.2, MemMB: 10}
+	p2 := &Placement{Instance: "b", Func: "f", Req: 0.2, MemMB: 10}
+	p3 := &Placement{Instance: "c", Func: "f", Req: 0.2, MemMB: 10}
+	if err := g2.Place(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g0.Place(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g0.Place(p3); err != nil { // second replica: no new entry
+		t.Fatal(err)
+	}
+	if got := c.FuncGPUs("f"); len(got) != 2 || got[0] != g0 || got[1] != g2 {
+		t.Fatalf("posting list wrong: %v", got)
+	}
+	g0.Remove(p2) // one replica left on g0: entry stays
+	if got := c.FuncGPUs("f"); len(got) != 2 {
+		t.Fatalf("posting list dropped a still-hosting GPU: %v", got)
+	}
+	g0.Remove(p3)
+	if got := c.FuncGPUs("f"); len(got) != 1 || got[0] != g2 {
+		t.Fatalf("posting list after drain: %v", got)
+	}
+	g2.Remove(p1)
+	if c.FuncGPUs("f") != nil {
+		t.Fatal("posting key must be deleted with the last placement")
+	}
+}

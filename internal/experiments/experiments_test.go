@@ -59,13 +59,14 @@ func TestEveryDriverDeclaresATier(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d drivers, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d drivers, want 22", len(all))
 	}
 	want := []string{"figure2", "figure2cd", "table2", "figure4", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "table3",
 		"figure13", "figure14", "figure15", "figure16", "figure17", "figure18",
-		"ablation-controller", "slo_sweep", "trace_replay", "tenant_mix"}
+		"ablation-controller", "slo_sweep", "trace_replay", "tenant_mix",
+		"hyperscale"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("registry[%d] = %s, want %s", i, all[i].ID, id)
@@ -191,6 +192,39 @@ func TestFigure17Shape(t *testing.T) {
 	}
 	if len(rep.Series) != 3 {
 		t.Fatalf("series = %d", len(rep.Series))
+	}
+}
+
+func TestHyperscaleShape(t *testing.T) {
+	skipSlowTier(t, "hyperscale")
+	rep := Hyperscale(testOpts())
+	tb := rep.Table("Hyperscale.")
+	if tb == nil {
+		t.Fatal("missing table")
+	}
+	// The §5.5 cost ordering must survive the ×10 cluster.
+	exc := cell(t, tb, "Exclusive", 5) // GPU-hours
+	inf := cell(t, tb, "INFless+-l", 5)
+	dil := cell(t, tb, "Dilu", 5)
+	if !(dil < inf && inf < exc) {
+		t.Fatalf("cost ordering broken: Dilu %v, INFless %v, Exclusive %v", dil, inf, exc)
+	}
+	// Dilu must place every request at this density (capacity is ample
+	// once collocation works); Exclusive is allowed to shed load.
+	if placed := cell(t, tb, "Dilu", 1); placed < cell(t, tb, "Exclusive", 1) {
+		t.Fatalf("Dilu placed %v requests, fewer than Exclusive", placed)
+	}
+	if len(rep.Series) != 3 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+}
+
+func TestHyperscaleBatchAllSchedulers(t *testing.T) {
+	placed := HyperscaleScheduleBatch(1000, 400, 1)
+	for _, name := range []string{"Exclusive", "INFless+-l", "Dilu"} {
+		if placed[name] != 400 {
+			t.Fatalf("%s placed %d / 400 on a 4,000-GPU cluster", name, placed[name])
+		}
 	}
 }
 

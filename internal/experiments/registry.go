@@ -62,6 +62,7 @@ func All() []Driver {
 		{"slo_sweep", "SLO pressure sweep over production-shaped workloads (extra)", TierStandard, SLOSweep},
 		{"trace_replay", "Committed sample-trace replay with SLO accounting (extra)", TierStandard, TraceReplay},
 		{"tenant_mix", "Multi-tenant Zipf mix across schedulers (extra)", TierStandard, TenantMixStudy},
+		{"hyperscale", "Hyperscale placement — 40k GPUs / 32k instances (extra)", TierSlow, Hyperscale},
 	}
 }
 

@@ -12,12 +12,13 @@ import (
 )
 
 // This file is a differential guard for the scheduler's incremental
-// indexes: oldDilu reimplements Algorithm 1 with the pre-index full-scan
-// logic (literal inventory scans, per-call Funcs() maps, all-inactive
-// candidate lists), and the test replays the §5.5 large-scale mix
-// through both schedulers, requiring identical GPU choices decision by
-// decision. It caught a duplicate free-heap entry during the PR-2
-// refactor; keep it in sync with any future Algorithm 1 change.
+// indexes: oldDilu, oldStatic and oldExclusive reimplement the three
+// schedulers with the pre-index full-scan logic (literal inventory
+// scans, per-call Funcs() maps, all-inactive candidate lists), and the
+// tests replay the §5.5 large-scale mix through both implementations,
+// requiring identical GPU choices decision by decision. It caught a
+// duplicate free-heap entry during the PR-2 refactor; keep it in sync
+// with any future selection-semantics change.
 
 // oldDilu replays Algorithm 1 with the pre-index full-scan logic.
 type oldDilu struct {
@@ -224,18 +225,168 @@ func (s *oldDilu) freshGPU() *cluster.GPU {
 	return nil
 }
 
+// oldStatic replays the Static (INFless+/FaST-GS+) best-fit with the
+// pre-index full-scan logic: every pick walks the whole active list.
+type oldStatic struct {
+	useLimit bool
+	clu      *cluster.Cluster
+	seq      int
+}
+
+func (s *oldStatic) Name() string              { return "old-static" }
+func (s *oldStatic) Cluster() *cluster.Cluster { return s.clu }
+
+func (s *oldStatic) quota(p profiler.Profile) float64 {
+	if s.useLimit {
+		return p.SMLim
+	}
+	return p.SMReq
+}
+
+func (s *oldStatic) firstInactive() *cluster.GPU {
+	for _, g := range s.clu.GPUs() {
+		if !g.Active() {
+			return g
+		}
+	}
+	return nil
+}
+
+func (s *oldStatic) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
+	if wholeGPU {
+		return s.firstInactive()
+	}
+	var best *cluster.GPU
+	bestFree := 2.0
+	for _, g := range s.clu.GPUs() {
+		if !g.Active() {
+			continue
+		}
+		if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+			continue
+		}
+		free := 1 - g.SumReq
+		if free < bestFree {
+			bestFree = free
+			best = g
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return s.firstInactive()
+}
+
+func (s *oldStatic) Schedule(req sched.Request) ([]sched.Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	prof := shardProfileOld(req.Profile, stages)
+	q := s.quota(prof)
+	var out []sched.Decision
+	fail := func(err error) ([]sched.Decision, error) {
+		for _, prev := range out {
+			prev.Release()
+		}
+		return nil, err
+	}
+	for k := 0; k < req.Instances; k++ {
+		s.seq++
+		d := sched.Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		for i := 0; i < stages; i++ {
+			g := s.pick(q, prof.MemMB, stages > 1)
+			if g == nil {
+				d.Release()
+				return fail(sched.ErrNoCapacity)
+			}
+			pl := &cluster.Placement{
+				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Req: q, Lim: q, MemMB: prof.MemMB,
+				TrueReq: prof.SMReq,
+			}
+			if err := g.Place(pl); err != nil {
+				d.Release()
+				return fail(err)
+			}
+			d.GPUs = append(d.GPUs, g)
+			d.Placements = append(d.Placements, pl)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// oldExclusive replays the Exclusive baseline with a literal first-
+// inactive inventory scan instead of the free-GPU heap.
+type oldExclusive struct {
+	clu *cluster.Cluster
+	seq int
+}
+
+func (s *oldExclusive) Name() string              { return "old-exclusive" }
+func (s *oldExclusive) Cluster() *cluster.Cluster { return s.clu }
+
+func (s *oldExclusive) Schedule(req sched.Request) ([]sched.Decision, error) {
+	if req.Instances <= 0 {
+		req.Instances = 1
+	}
+	stages := req.GPUsPerInstance
+	if stages <= 0 {
+		stages = 1
+	}
+	var out []sched.Decision
+	for k := 0; k < req.Instances; k++ {
+		s.seq++
+		d := sched.Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		for i := 0; i < stages; i++ {
+			var g *cluster.GPU
+			for _, cand := range s.clu.GPUs() {
+				if !cand.Active() {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				d.Release()
+				for _, prev := range out {
+					prev.Release()
+				}
+				return nil, sched.ErrNoCapacity
+			}
+			pl := &cluster.Placement{
+				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Req: 1, Lim: 1, MemMB: req.Profile.MemMB / float64(stages),
+				TrueReq: req.Profile.SMReq / float64(stages),
+			}
+			if err := g.Place(pl); err != nil {
+				d.Release()
+				return nil, err
+			}
+			d.GPUs = append(d.GPUs, g)
+			d.Placements = append(d.Placements, pl)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 func optsWithDefaults() sched.Options {
 	return sched.Options{Omega: 1.0, Gamma: 1.5, Alpha: 0.5, Beta: 0.5}
 }
 
-func TestDiluSchedulerIndexEquivalence(t *testing.T) {
+// replayMixEquiv replays the §5.5 arrival/departure sequence through the
+// indexed scheduler and its full-scan reference on twin clusters,
+// requiring the same GPU choice (or the same failure) for every
+// decision. Departures release both sides, so the differential coverage
+// includes the lazily-compacted index states after removals.
+func replayMixEquiv(t *testing.T, sNew, sOld sched.Scheduler) {
+	t.Helper()
 	horizon := 3600 * sim.Second
 	mix := largeScaleMix(3200, horizon, sim.NewRNG(1))
-
-	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
-	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
-	sNew := sched.NewDilu(cluNew, sched.Options{})
-	sOld := &oldDilu{opts: optsWithDefaults(), clu: cluOld}
 
 	var events []lsEvent
 	for i, inst := range mix {
@@ -255,6 +406,7 @@ func TestDiluSchedulerIndexEquivalence(t *testing.T) {
 	})
 	placedNew := map[int][]sched.Decision{}
 	placedOld := map[int][]sched.Decision{}
+	failures := 0
 	for n, ev := range events {
 		inst := mix[ev.idx]
 		if ev.arrive {
@@ -281,6 +433,8 @@ func TestDiluSchedulerIndexEquivalence(t *testing.T) {
 				}
 				placedNew[ev.idx] = dn
 				placedOld[ev.idx] = do
+			} else {
+				failures++
 			}
 		} else {
 			for _, d := range placedNew[ev.idx] {
@@ -293,4 +447,40 @@ func TestDiluSchedulerIndexEquivalence(t *testing.T) {
 			delete(placedOld, ev.idx)
 		}
 	}
+	if len(placedNew) == 0 {
+		t.Fatal("degenerate replay: nothing stayed placed")
+	}
+	t.Logf("replayed %d events, %d capacity failures (matched on both sides)", len(events), failures)
+}
+
+func TestDiluSchedulerIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquiv(t,
+		sched.NewDilu(cluNew, sched.Options{}),
+		&oldDilu{opts: optsWithDefaults(), clu: cluOld})
+}
+
+func TestStaticSchedulerIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquiv(t,
+		sched.NewINFlessL(cluNew),
+		&oldStatic{useLimit: true, clu: cluOld})
+}
+
+func TestStaticRequestQuotaIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquiv(t,
+		sched.NewINFlessR(cluNew),
+		&oldStatic{useLimit: false, clu: cluOld})
+}
+
+func TestExclusiveSchedulerIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquiv(t,
+		sched.NewExclusive(cluNew),
+		&oldExclusive{clu: cluOld})
 }

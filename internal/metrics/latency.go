@@ -20,7 +20,14 @@ type LatencyRecorder struct {
 	name    string
 	slo     sim.Duration
 	samples []sim.Duration
-	sorted  bool
+	// sorted is the dirty flag of the percentile path: it is cleared on
+	// every mutation and set by the one sort ensureSorted performs per
+	// mutation epoch, so chained Percentile/P95/P99/Max calls (the SLO
+	// summary emits several in a row) never re-sort an unchanged slice.
+	// sorts counts those sorts for the regression test that pins the
+	// one-sort-per-epoch contract.
+	sorted bool
+	sorts  int
 	// violations counts samples above the SLO; coldViolations is the
 	// subset whose request waited at the gateway for an instance — the
 	// cold-start/scale-out path — before being dispatched.
@@ -87,6 +94,7 @@ func (r *LatencyRecorder) ensureSorted() {
 		// reflection-driven swaps on the percentile path.
 		slices.Sort(r.samples)
 		r.sorted = true
+		r.sorts++
 	}
 }
 

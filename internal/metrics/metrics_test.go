@@ -9,6 +9,50 @@ import (
 	"dilu/internal/sim"
 )
 
+// TestLatencyOneSortPerMutationEpoch pins the dirty-flag contract: a
+// run of Percentile/P95/P99/Max calls between two mutations costs
+// exactly one sort (the SLO summary path issues several in a row), and
+// each new observation opens exactly one new epoch.
+func TestLatencyOneSortPerMutationEpoch(t *testing.T) {
+	r := NewLatencyRecorder("f", 100*sim.Millisecond)
+	for i := 50; i >= 1; i-- {
+		r.Observe(sim.Duration(i) * sim.Millisecond)
+	}
+	r.P50()
+	r.P95()
+	r.P99()
+	r.Percentile(42)
+	r.Max()
+	if r.sorts != 1 {
+		t.Fatalf("chained percentile calls cost %d sorts, want exactly 1", r.sorts)
+	}
+	// A mutation opens a new epoch: one more sort, and only one.
+	r.ObserveWait(7*sim.Millisecond, sim.Millisecond)
+	r.P95()
+	r.P99()
+	if r.sorts != 2 {
+		t.Fatalf("after mutation: %d sorts, want exactly 2", r.sorts)
+	}
+	// No mutation since: reading percentiles again stays sort-free.
+	r.P50()
+	r.Max()
+	if r.sorts != 2 {
+		t.Fatalf("unchanged samples re-sorted: %d sorts", r.sorts)
+	}
+	// Reset leaves an empty-but-sorted recorder; the next reads must not
+	// sort until something is observed.
+	r.Reset()
+	r.P95()
+	if r.sorts != 2 {
+		t.Fatalf("reset recorder sorted an empty slice: %d sorts", r.sorts)
+	}
+	r.Observe(3 * sim.Millisecond)
+	r.P95()
+	if r.sorts != 3 {
+		t.Fatalf("post-reset epoch: %d sorts, want 3", r.sorts)
+	}
+}
+
 func TestLatencyPercentiles(t *testing.T) {
 	r := NewLatencyRecorder("f", 100*sim.Millisecond)
 	for i := 1; i <= 100; i++ {

@@ -11,7 +11,9 @@
 package sched
 
 import (
-	"fmt"
+	"errors"
+	"slices"
+	"strconv"
 
 	"dilu/internal/cluster"
 	"dilu/internal/profiler"
@@ -53,7 +55,28 @@ type Scheduler interface {
 
 // ErrNoCapacity is returned when no GPU (active or fresh) satisfies the
 // constraints.
-var ErrNoCapacity = fmt.Errorf("sched: no GPU satisfies constraints")
+var ErrNoCapacity = errors.New("sched: no GPU satisfies constraints")
+
+// instanceID builds "<fn>-<seq>" without fmt: instance-ID construction
+// sits on the placement hot path, and Sprintf's interface boxing plus
+// verb parsing tripled its allocation cost.
+func instanceID(fn string, seq int) string {
+	buf := make([]byte, 0, len(fn)+12)
+	buf = append(buf, fn...)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, int64(seq), 10)
+	return string(buf)
+}
+
+// stageID builds the "<id>/s<i>" per-stage instance ID of a multi-GPU
+// (pipeline-sharded) deployment.
+func stageID(id string, stage int) string {
+	buf := make([]byte, 0, len(id)+8)
+	buf = append(buf, id...)
+	buf = append(buf, '/', 's')
+	buf = strconv.AppendInt(buf, int64(stage), 10)
+	return string(buf)
+}
 
 // ---------------------------------------------------------------------------
 // Dilu: Algorithm 1.
@@ -149,7 +172,7 @@ func (s *Dilu) Schedule(req Request) ([]Decision, error) {
 
 func (s *Dilu) nextID(fn string) string {
 	s.seq++
-	return fmt.Sprintf("%s-%d", fn, s.seq)
+	return instanceID(fn, s.seq)
 }
 
 // placeSingle implements lines 10-18 for a one-GPU instance.
@@ -160,7 +183,7 @@ func (s *Dilu) placeSingle(req Request) (Decision, error) {
 		gpu = s.selectOptGPU(s.affinityGPUs(req.Func), p, req.Func)
 	}
 	if gpu == nil {
-		gpu = s.selectOptGPU(s.clu.ActiveGPUs(), p, req.Func)
+		gpu = s.selectOptGPUActive(p, req.Func)
 	}
 	if gpu == nil {
 		gpu = s.freshGPU()
@@ -257,7 +280,7 @@ func (s *Dilu) placeMultiGPU(req Request, stages int) (Decision, error) {
 	d := Decision{Instance: id, Func: req.Func}
 	for i := 0; i < stages; i++ {
 		pl := &cluster.Placement{
-			Instance: fmt.Sprintf("%s/s%d", id, i), Func: req.Func,
+			Instance: stageID(id, i), Func: req.Func,
 			Req: p.SMReq, Lim: p.SMLim, MemMB: p.MemMB,
 		}
 		if err := cands[i].g.Place(pl); err != nil {
@@ -282,7 +305,7 @@ func (s *Dilu) placeExclusiveStages(req Request, stages int) (Decision, error) {
 			return Decision{}, ErrNoCapacity
 		}
 		pl := &cluster.Placement{
-			Instance: fmt.Sprintf("%s/s%d", id, i), Func: req.Func,
+			Instance: stageID(id, i), Func: req.Func,
 			Req: prof.SMReq, Lim: prof.SMLim, MemMB: prof.MemMB,
 		}
 		if err := g.Place(pl); err != nil {
@@ -299,16 +322,25 @@ func (s *Dilu) placeExclusiveStages(req Request, stages int) (Decision, error) {
 // collocate with req.Func elsewhere (replicating proven collocation
 // patterns, Figure 5(b)), excluding GPUs that already host req.Func
 // itself so instances of one function spread across fragments.
+//
+// Both steps are served by the cluster's posting index instead of
+// scanning all active GPUs: partners are collected from the GPUs
+// hosting fn, and the candidate set is the union of the partners'
+// posting lists. The union is sorted back into inventory order and
+// deduplicated, which reproduces exactly the list an ActiveGPUs filter
+// scan would have built (selectOptGPU breaks score ties toward earlier
+// candidates, so the order is part of the contract).
 func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
+	hosts := s.clu.FuncGPUs(fn)
+	if len(hosts) == 0 {
+		return nil
+	}
 	if s.partners == nil {
 		s.partners = make(map[string]bool, 8)
 	}
 	partners := s.partners
 	clear(partners)
-	for _, g := range s.clu.ActiveGPUs() {
-		if !g.HostsFunc(fn) {
-			continue
-		}
+	for _, g := range hosts {
 		for f := range g.FuncCounts() {
 			if f != fn {
 				partners[f] = true
@@ -319,17 +351,15 @@ func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
 		return nil
 	}
 	out := s.affScratch[:0]
-	for _, g := range s.clu.ActiveGPUs() {
-		if g.HostsFunc(fn) {
-			continue
-		}
-		for f := range g.FuncCounts() {
-			if partners[f] {
+	for f := range partners {
+		for _, g := range s.clu.FuncGPUs(f) {
+			if !g.HostsFunc(fn) {
 				out = append(out, g)
-				break
 			}
 		}
 	}
+	slices.SortFunc(out, func(a, b *cluster.GPU) int { return a.Pos() - b.Pos() })
+	out = slices.Compact(out) // a GPU hosting k partners appeared k times
 	s.affScratch = out
 	return out
 }
@@ -364,6 +394,73 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 		if score < bestScore {
 			bestScore = score
 			best = g
+		}
+	}
+	return best
+}
+
+// selectOptGPUActive is selectOptGPU over the whole active set, served
+// by the cluster's occupancy index instead of a slice scan. Buckets are
+// walked from most- to least-occupied; a bucket whose ΣReq upper bound
+// already lower-bounds every remaining score above the best found so
+// far ends the walk, so the scan touches only the occupancy bands that
+// could still win.
+//
+// Equivalence with selectOptGPU(ActiveGPUs()): that scan takes the
+// first (inventory-order) candidate achieving the minimum score, i.e.
+// the lexicographic argmin of (score, Pos). Bucket order is arbitrary,
+// so the same argmin is computed explicitly; and since the SM term
+// alone satisfies score ≥ α·(1 − (ΣReq + req)) — the memory term and
+// the same-function penalty are non-negative — a bucket bound strictly
+// above bestScore proves no remaining candidate can beat *or tie* it.
+func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
+	// Buckets whose ΣReq lower bound already breaks Ω hold no feasible
+	// candidate; start below them.
+	headroom := s.opts.Omega + 1e-9 - p.SMReq
+	if headroom < 0 {
+		return nil
+	}
+	start := cluster.OccupancyBucketOf(headroom)
+	bestScore := 1e18
+	bestPos := -1
+	var best *cluster.GPU
+	// The posting index answers "does any GPU host fn" once, up front:
+	// when it is empty (the common case for per-instance function names)
+	// both HostsFunc checks below are statically false, saving a string
+	// map lookup per candidate — the dominant cost of the 32k-instance
+	// hyperscale batch profile.
+	hostsAny := len(s.clu.FuncGPUs(fn)) > 0
+	for b := start; b >= 0; b-- {
+		// Everything in buckets ≤ b has ΣReq < (b+1)/Buckets (the top
+		// bucket is clamped, but the walk starts at most there and its
+		// bound is checked after scanning it).
+		if best != nil {
+			ub := float64(b+1) / cluster.OccupancyBuckets
+			if s.opts.Alpha*(1-(ub+p.SMReq)) > bestScore {
+				break
+			}
+		}
+		for _, g := range s.clu.OccupancyBucket(b) {
+			newReq := g.SumReq + p.SMReq
+			newLim := g.SumLim + p.SMLim
+			newMem := g.MemUsedMB + p.MemMB
+			if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+				continue
+			}
+			hosts := hostsAny && g.HostsFunc(fn)
+			if hosts && p.Role == profiler.RoleTraining {
+				continue
+			}
+			score := s.opts.Alpha * (1 - newReq/1.0)
+			if !s.opts.DisableComplementary {
+				score += s.opts.Beta * (1 - newMem/g.MemCapMB)
+			}
+			if hosts {
+				score += 0.5
+			}
+			if score < bestScore || (score == bestScore && g.Pos() < bestPos) {
+				bestScore, bestPos, best = score, g.Pos(), g
+			}
 		}
 	}
 	return best
@@ -405,7 +502,7 @@ func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
 	var out []Decision
 	for k := 0; k < req.Instances; k++ {
 		s.seq++
-		d := Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		d := Decision{Instance: instanceID(req.Func, s.seq), Func: req.Func}
 		for i := 0; i < stages; i++ {
 			g := s.clu.FirstInactive()
 			if g == nil {
@@ -416,7 +513,7 @@ func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
 				return nil, ErrNoCapacity
 			}
 			pl := &cluster.Placement{
-				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Instance: stageID(d.Instance, i), Func: req.Func,
 				Req: 1, Lim: 1, MemMB: req.Profile.MemMB / float64(stages),
 				TrueReq: req.Profile.SMReq / float64(stages),
 			}
@@ -504,7 +601,7 @@ func (s *Static) Schedule(req Request) ([]Decision, error) {
 	}
 	for k := 0; k < req.Instances; k++ {
 		s.seq++
-		d := Decision{Instance: fmt.Sprintf("%s-%d", req.Func, s.seq), Func: req.Func}
+		d := Decision{Instance: instanceID(req.Func, s.seq), Func: req.Func}
 		for i := 0; i < stages; i++ {
 			g := s.pick(q, prof.MemMB, stages > 1)
 			if g == nil {
@@ -512,7 +609,7 @@ func (s *Static) Schedule(req Request) ([]Decision, error) {
 				return fail(ErrNoCapacity)
 			}
 			pl := &cluster.Placement{
-				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
+				Instance: stageID(d.Instance, i), Func: req.Func,
 				Req: q, Lim: q, MemMB: prof.MemMB,
 				TrueReq: prof.SMReq,
 			}
@@ -528,25 +625,52 @@ func (s *Static) Schedule(req Request) ([]Decision, error) {
 	return out, nil
 }
 
+// pick is the Static best-fit: the feasible active GPU with the least
+// free SM share, ties toward inventory order. It walks the occupancy
+// index from the most-occupied bucket that still has Σreq ≤ 1−q
+// headroom downward; within a bucket (unordered) the inventory-scan tie
+// order is reproduced by taking the lexicographic argmin of (free, Pos).
+//
+// Stopping rule: a lower bucket has strictly smaller ΣReq, so by
+// monotonicity of exact rounding its free share 1−ΣReq is ≥ the best's
+// — it can tie but never win. Ties across buckets are real: 1−x
+// collapses ΣReq values one ulp apart onto the same free (e.g. ΣReq
+// 0.25 and 0.25−2⁻⁵⁴ both yield free 0.75, one bucket apart), and the
+// reference scan resolves such ties toward the earlier GPU. The
+// collapse interval is ~1 ulp of free — vastly narrower than a 1/64
+// bucket — so scanning exactly one bucket below the first hit covers
+// every possible tie. (The differential replay in
+// experiments/sched_equiv_test.go caught this on the §5.5 mix.)
 func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if wholeGPU {
 		return s.clu.FirstInactive()
 	}
-	// Best fit by SM occupancy among active GPUs.
-	var best *cluster.GPU
-	bestFree := 2.0
-	for _, g := range s.clu.ActiveGPUs() {
-		if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
-			continue
+	headroom := 1 + 1e-9 - q
+	if headroom >= 0 {
+		var best *cluster.GPU
+		bestFree := 2.0
+		bestPos := -1
+		stopBelow := -1
+		for b := cluster.OccupancyBucketOf(headroom); b >= 0; b-- {
+			if best != nil && b < stopBelow {
+				break
+			}
+			for _, g := range s.clu.OccupancyBucket(b) {
+				if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+					continue
+				}
+				free := 1 - g.SumReq
+				if free < bestFree || (free == bestFree && g.Pos() < bestPos) {
+					bestFree, bestPos, best = free, g.Pos(), g
+				}
+			}
+			if best != nil && stopBelow == -1 {
+				stopBelow = b - 1 // one more bucket: rounding-collapse ties
+			}
 		}
-		free := 1 - g.SumReq
-		if free < bestFree {
-			bestFree = free
-			best = g
+		if best != nil {
+			return best
 		}
-	}
-	if best != nil {
-		return best
 	}
 	return s.clu.FirstInactive()
 }
