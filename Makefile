@@ -1,9 +1,13 @@
-# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
-# the same gates the push/PR workflow enforces.
+# Local targets mirror the workflows exactly: `make ci` runs every gate
+# the push/PR workflow (.github/workflows/ci.yml) enforces — including
+# the bench-smoke/bench-gate job via `ci-bench` — and `make nightly`
+# runs the scheduled slow-path gates of nightly.yml (full non-short
+# suite, hyperscale benchmark, manifest determinism check).
 
 GO ?= go
 
-.PHONY: build test test-short test-race-subsys bench bench-quick bench-gate bench-baseline vet fmt-check ci
+.PHONY: build test test-short test-race-subsys bench bench-quick bench-gate \
+	bench-baseline bench-hyperscale manifest-check vet fmt-check ci ci-bench nightly
 
 build:
 	$(GO) build ./...
@@ -62,6 +66,26 @@ bench-baseline:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x -benchmem . > bench/baseline.txt
 	$(GO) test -run '^$$' -bench '$(PINNED_BENCH_RE)' -benchtime 1x -count 3 -benchmem . >> bench/baseline.txt
 
+# Hyperscale placement benchmark (40k GPUs / 32k instances): too heavy
+# for the per-PR bench smoke (-short keeps it out), pinned nightly so
+# the sub-linear placement claim stays guarded by automation.
+BENCH_NIGHTLY_OUT ?= /tmp/dilu-bench-nightly.txt
+bench-hyperscale:
+	$(GO) test -run '^$$' -bench '^BenchmarkHyperscalePlacement$$' -benchtime 1x -benchmem . \
+		> $(BENCH_NIGHTLY_OUT) || { cat $(BENCH_NIGHTLY_OUT); exit 1; }
+	@cat $(BENCH_NIGHTLY_OUT)
+
+# Full-registry manifest determinism check: every driver (all 25, slow
+# tier included) runs serially and on all cores at the golden scale;
+# the two manifests must be byte-identical. This is the whole-registry
+# extension of the committed quick/trace golden tests.
+MANIFEST_DIR ?= /tmp
+manifest-check:
+	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 1 -q -manifest $(MANIFEST_DIR)/dilu-manifest-serial.json
+	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 0 -q -manifest $(MANIFEST_DIR)/dilu-manifest-parallel.json
+	cmp $(MANIFEST_DIR)/dilu-manifest-serial.json $(MANIFEST_DIR)/dilu-manifest-parallel.json
+	@echo "manifest determinism: serial == parallel"
+
 vet:
 	$(GO) vet ./...
 
@@ -71,4 +95,12 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test-short test-race-subsys
+# ci-bench is the local mirror of the workflow's bench-smoke job: the
+# one-iteration suite sweep, then the pinned-benchmark gate.
+ci-bench: bench-quick bench-gate
+
+ci: build vet fmt-check test-short test-race-subsys ci-bench
+
+# nightly mirrors .github/workflows/nightly.yml: the slow path the
+# per-PR workflow skips.
+nightly: test bench-hyperscale manifest-check

@@ -176,6 +176,18 @@ func BenchmarkTraceReplay(b *testing.B) { runExperiment(b, "trace_replay") }
 // three schedulers.
 func BenchmarkTenantMix(b *testing.B) { runExperiment(b, "tenant_mix") }
 
+// BenchmarkHeteroMix runs the heterogeneous 70/30 fleet placement
+// comparison (normalized-utilization scheduling on mixed capacities).
+func BenchmarkHeteroMix(b *testing.B) { runExperiment(b, "hetero_mix") }
+
+// BenchmarkChurnRecovery runs the failure-wave scenario: eviction,
+// cold relaunch and request requeue under the three serving systems.
+func BenchmarkChurnRecovery(b *testing.B) { runExperiment(b, "churn_recovery") }
+
+// BenchmarkRollingDrain runs the zero-downtime upgrade sweep
+// (make-before-break migration off draining nodes).
+func BenchmarkRollingDrain(b *testing.B) { runExperiment(b, "rolling_drain") }
+
 // benchSuite drains the quick-tier drivers through the harness worker
 // pool at the given parallelism; comparing the serial and all-core
 // variants measures the suite-level speedup the harness buys.

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// bestNsOp parses a Go benchmark log and returns, per benchmark name
+// (GOMAXPROCS suffix stripped), the minimum ns/op seen — the usual
+// noise floor estimator across -count repetitions.
+func bestNsOp(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name, iterations, value, "ns/op", ...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripGOMAXPROCS(fields[0])
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if best, ok := out[name]; !ok || v < best {
+				out[name] = v
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripGOMAXPROCS removes the "-N" parallelism suffix Go appends to
+// benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo") while leaving
+// hyphenated sub-benchmark names intact.
+func stripGOMAXPROCS(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// runGate compares the two best-ns/op maps over the pinned benchmark
+// names, writing the verdict table to w. It reports failure when any
+// pinned benchmark regresses past maxRegress or is missing from either
+// side — a renamed or deleted pinned benchmark must be an explicit
+// baseline update, not a silent pass.
+func runGate(w io.Writer, oldBest, newBest map[string]float64, names []string, maxRegress float64) bool {
+	failed := false
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark (best ns/op)", "baseline", "new", "delta")
+	for _, name := range names {
+		o, okO := oldBest[name]
+		n, okN := newBest[name]
+		switch {
+		case !okO || !okN:
+			fmt.Fprintf(w, "%-40s %14s %14s %8s\n", name, mark(okO, o), mark(okN, n), "MISSING")
+			failed = true
+		default:
+			delta := n/o - 1
+			verdict := fmt.Sprintf("%+.1f%%", delta*100)
+			if delta > maxRegress {
+				verdict += " FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s\n", name, o, n, verdict)
+		}
+	}
+	return failed
+}
+
+func mark(ok bool, v float64) string {
+	if !ok {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: dilu
+BenchmarkSchedulerThroughput-16     	       1	  52000000 ns/op	  1000000 B/op	    2000 allocs/op
+BenchmarkSchedulerThroughput-16     	       1	  48000000 ns/op	  1000000 B/op	    2000 allocs/op
+BenchmarkSchedulerThroughput-16     	       1	  51000000 ns/op	  1000000 B/op	    2000 allocs/op
+BenchmarkFigure17_LargeScale-16     	       1	 900000000 ns/op
+BenchmarkSuiteQuickSerial           	       1	 300000000 ns/op
+PASS
+ok  	dilu	3.1s
+`
+
+func TestBestNsOpStripsGOMAXPROCSAndTakesMinimum(t *testing.T) {
+	got, err := bestNsOp(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -16 suffix is stripped; the best of the three -count runs wins.
+	if v := got["BenchmarkSchedulerThroughput"]; v != 48000000 {
+		t.Fatalf("best ns/op = %v, want 48000000", v)
+	}
+	// Names without a GOMAXPROCS suffix parse as-is.
+	if v := got["BenchmarkSuiteQuickSerial"]; v != 300000000 {
+		t.Fatalf("unsuffixed benchmark = %v, want 300000000", v)
+	}
+	if _, ok := got["BenchmarkSchedulerThroughput-16"]; ok {
+		t.Fatal("suffixed name leaked into the map")
+	}
+}
+
+func TestStripGOMAXPROCS(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo-128":    "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar", // sub-benchmark, not a proc count
+		"BenchmarkFoo/sub-4":  "BenchmarkFoo/sub",
+		"BenchmarkFoo/sub-x4": "BenchmarkFoo/sub-x4",
+	}
+	for in, want := range cases {
+		if got := stripGOMAXPROCS(in); got != want {
+			t.Fatalf("stripGOMAXPROCS(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	oldBest := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
+	newBest := map[string]float64{"BenchmarkA": 108, "BenchmarkB": 150}
+	var out strings.Builder
+	if failed := runGate(&out, oldBest, newBest, []string{"BenchmarkA", "BenchmarkB"}, 0.10); failed {
+		t.Fatalf("gate failed within threshold:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "+8.0%") {
+		t.Fatalf("delta missing from table:\n%s", out.String())
+	}
+}
+
+func TestGateFailsBeyondThreshold(t *testing.T) {
+	oldBest := map[string]float64{"BenchmarkA": 100}
+	newBest := map[string]float64{"BenchmarkA": 111}
+	var out strings.Builder
+	if failed := runGate(&out, oldBest, newBest, []string{"BenchmarkA"}, 0.10); !failed {
+		t.Fatalf("gate passed an +11%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("verdict missing FAIL marker:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	oldBest := map[string]float64{"BenchmarkA": 100}
+	// Present in the baseline but absent from the fresh log (renamed or
+	// deleted) — must fail, never silently pass.
+	var out strings.Builder
+	if failed := runGate(&out, oldBest, map[string]float64{}, []string{"BenchmarkA"}, 0.10); !failed {
+		t.Fatal("gate passed with the benchmark missing from the new log")
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("verdict missing MISSING marker:\n%s", out.String())
+	}
+	// And the symmetric direction: a benchmark with no baseline entry.
+	out.Reset()
+	if failed := runGate(&out, map[string]float64{}, map[string]float64{"BenchmarkA": 90}, []string{"BenchmarkA"}, 0.10); !failed {
+		t.Fatal("gate passed with the benchmark missing from the baseline")
+	}
+}
+
+func TestGateImprovementNeverFails(t *testing.T) {
+	var out strings.Builder
+	if failed := runGate(&out, map[string]float64{"BenchmarkA": 100}, map[string]float64{"BenchmarkA": 50}, []string{"BenchmarkA"}, 0.10); failed {
+		t.Fatalf("gate failed a 2× improvement:\n%s", out.String())
+	}
+}

@@ -12,56 +12,23 @@
 // noise floor estimator for single-machine runs — and gates on the
 // ratio. Benchmarks missing from either side fail the gate: a renamed
 // or deleted pinned benchmark must be an explicit baseline update, not
-// a silent pass.
+// a silent pass. The parse/compare logic lives in gate.go and is unit
+// tested.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 )
 
-// bestNsOp parses a Go benchmark log and returns, per benchmark name
-// (GOMAXPROCS suffix stripped), the minimum ns/op seen.
-func bestNsOp(path string) (map[string]float64, error) {
+func bestNsOpFile(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string]float64{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		// Benchmark lines: name, iterations, value, "ns/op", ...
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i] // strip the -GOMAXPROCS suffix
-			}
-		}
-		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] != "ns/op" {
-				continue
-			}
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			if best, ok := out[name]; !ok || v < best {
-				out[name] = v
-			}
-			break
-		}
-	}
-	return out, sc.Err()
+	return bestNsOp(f)
 }
 
 func main() {
@@ -73,45 +40,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: bench-gate -baseline old.txt -new new.txt Benchmark1 [Benchmark2 ...]")
 		os.Exit(2)
 	}
-	oldBest, err := bestNsOp(*baseline)
+	oldBest, err := bestNsOpFile(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
 		os.Exit(2)
 	}
-	newBest, err := bestNsOp(*fresh)
+	newBest, err := bestNsOpFile(*fresh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
 		os.Exit(2)
 	}
-	failed := false
-	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark (best ns/op)", "baseline", "new", "delta")
-	for _, name := range flag.Args() {
-		o, okO := oldBest[name]
-		n, okN := newBest[name]
-		switch {
-		case !okO || !okN:
-			fmt.Printf("%-40s %14s %14s %8s\n", name, mark(okO, o), mark(okN, n), "MISSING")
-			failed = true
-		default:
-			delta := n/o - 1
-			verdict := fmt.Sprintf("%+.1f%%", delta*100)
-			if delta > *maxRegress {
-				verdict += " FAIL"
-				failed = true
-			}
-			fmt.Printf("%-40s %14.0f %14.0f %8s\n", name, o, n, verdict)
-		}
-	}
-	if failed {
+	if runGate(os.Stdout, oldBest, newBest, flag.Args(), *maxRegress) {
 		fmt.Fprintf(os.Stderr, "bench-gate: regression beyond %.0f%% (or missing benchmark); "+
 			"if intentional, refresh the baseline with `make bench-baseline`\n", *maxRegress*100)
 		os.Exit(1)
 	}
-}
-
-func mark(ok bool, v float64) string {
-	if !ok {
-		return "—"
-	}
-	return strconv.FormatFloat(v, 'f', 0, 64)
 }

@@ -48,6 +48,40 @@ func (p *Placement) trueReq() float64 {
 	return p.Req
 }
 
+// Health is a GPU's lifecycle state. Healthy GPUs accept placements;
+// Draining GPUs keep their existing placements but take no new ones
+// (rolling upgrades); Failed GPUs hold nothing — FailNode evicts their
+// placements for the caller to reschedule.
+type Health uint8
+
+const (
+	Healthy Health = iota
+	Draining
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Draining:
+		return "draining"
+	case Failed:
+		return "failed"
+	}
+	return "healthy"
+}
+
+// GPUClass describes one device generation of a heterogeneous fleet.
+// Capacity is relative compute throughput (1.0 = the baseline device the
+// profiler's SM quotas are expressed against); a 0.5-capacity GPU is
+// full at ΣReq 0.5. Quota feasibility and the occupancy index work on
+// normalized utilization ΣReq/Capacity so mixed fleets share one scale.
+type GPUClass struct {
+	Name     string
+	Capacity float64 // relative compute capacity; <=0 defaults to 1.0
+	MemCapMB float64 // per-class memory; <=0 defaults to Config.MemCapMB
+	Weight   float64 // share of nodes assigned to the class; <=0 means 1
+}
+
 // GPU is one schedulable device slot.
 type GPU struct {
 	ID    string
@@ -55,12 +89,20 @@ type GPU struct {
 	Index int
 	Dev   *gpu.Device // nil in placement-only simulations
 
+	// Class and Capacity identify the GPU's device generation in a
+	// heterogeneous fleet; Capacity is 1.0 on homogeneous clusters.
+	Class    string
+	Capacity float64
+
 	MemCapMB   float64
 	SumReq     float64
 	SumLim     float64
 	SumTrueReq float64
 	MemUsedMB  float64
 	Placements []*Placement
+
+	health   Health
+	classIdx int
 
 	// clu and pos link the GPU back to its cluster's indexes; nil/0 for
 	// GPUs constructed outside New (index maintenance is then skipped).
@@ -80,14 +122,35 @@ type GPU struct {
 // Active reports whether any instance is placed on the GPU.
 func (g *GPU) Active() bool { return len(g.Placements) > 0 }
 
+// Health returns the GPU's lifecycle state.
+func (g *GPU) Health() Health { return g.health }
+
+// Schedulable reports whether the GPU accepts new placements: healthy,
+// neither draining nor failed.
+func (g *GPU) Schedulable() bool { return g.health == Healthy }
+
+// Util returns the GPU's normalized compute utilization ΣReq/Capacity —
+// the occupancy measure the index buckets by. On a capacity-1.0 GPU it
+// equals ΣReq exactly (x/1.0 is bit-identical to x), so homogeneous
+// fleets behave as before normalization.
+func (g *GPU) Util() float64 {
+	if g.Capacity > 0 {
+		return g.SumReq / g.Capacity
+	}
+	return g.SumReq
+}
+
 // Pos returns the GPU's position in the cluster inventory (the stable
 // scan order of Cluster.GPUs); zero for GPUs built outside New.
 func (g *GPU) Pos() int { return g.pos }
 
 // Place reserves the placement's quotas on the GPU. Feasibility is the
-// scheduler's concern; Place only refuses memory overflow, mirroring
-// constraint (4).
+// scheduler's concern; Place only refuses memory overflow — mirroring
+// constraint (4) — and failed devices, which physically cannot host.
 func (g *GPU) Place(p *Placement) error {
+	if g.health == Failed {
+		return fmt.Errorf("cluster: gpu %s has failed", g.ID)
+	}
 	if g.MemUsedMB+p.MemMB > g.MemCapMB {
 		return fmt.Errorf("cluster: gpu %s memory overflow (%.0f+%.0f > %.0f MB)",
 			g.ID, g.MemUsedMB, p.MemMB, g.MemCapMB)
@@ -192,13 +255,32 @@ type Cluster struct {
 	// transitions, and a function's key is deleted when its last
 	// placement leaves so the map tracks live functions only.
 	posting map[string][]*GPU
-	// occ buckets active GPUs by ΣReq (bucket b holds ΣReq in
-	// [b/64, (b+1)/64), clamped into the top bucket): the occupancy
-	// index best-fit scans walk from the most-occupied feasible bucket
-	// downward instead of over all active GPUs. Entries are appended on
-	// ΣReq changes and compacted lazily on read; GPU.occIdx/occMask
-	// identify the live entry.
+	// occ buckets active GPUs by normalized utilization ΣReq/Capacity
+	// (bucket b holds utilization in [b/64, (b+1)/64), clamped into the
+	// top bucket): the occupancy index best-fit scans walk from the
+	// most-occupied feasible bucket downward instead of over all active
+	// GPUs. Entries are appended on ΣReq changes and compacted lazily on
+	// read; GPU.occIdx/occMask identify the live entry. On a homogeneous
+	// (capacity 1.0) fleet, utilization equals ΣReq bit-for-bit.
 	occ [OccupancyBuckets][]*GPU
+
+	// classes records the fleet's device generations (one synthetic
+	// entry for homogeneous clusters); hetero is true when classes
+	// differ in capacity or memory. min/maxCap bound GPU capacities and
+	// back the schedulers' bucket-walk pruning bounds.
+	classes []GPUClass
+	hetero  bool
+	minCap  float64
+	maxCap  float64
+
+	// retired counts GPUs out of service (draining or failed);
+	// retiredActive those of them still holding placements (only
+	// draining GPUs can). SchedulableInactive derives from both.
+	retired       int
+	retiredActive int
+	// occupiedCap sums the capacities of active GPUs (capacity-weighted
+	// occupancy, the cost measure on mixed fleets).
+	occupiedCap float64
 }
 
 // Config controls cluster construction.
@@ -207,6 +289,45 @@ type Config struct {
 	GPUsPerNode int
 	MemCapMB    float64 // zero defaults to A100-40GB
 	WithDevices bool    // allocate live gpu.Devices for kernel-level runs
+	// Classes makes the fleet heterogeneous: nodes are assigned to
+	// classes by a deterministic weighted interleave (largest-deficit
+	// round-robin), so device generations mix through the inventory the
+	// way racks mix in a real fleet — position-ordered policies like
+	// first-inactive see both generations early instead of an all-big
+	// prefix. A node carries one GPU generation. Empty means one
+	// uniform capacity-1.0 class — the pre-heterogeneity behavior.
+	Classes []GPUClass
+}
+
+// classAssign returns each node's class index under largest-deficit
+// weighted round-robin: node n goes to the class whose assigned share
+// lags its weight the most (ties toward the earlier class). A 70/30
+// split yields B B S B B B S B B S …, deterministically.
+func classAssign(classes []GPUClass, nodes int) []int {
+	total := 0.0
+	weights := make([]float64, len(classes))
+	for i, cl := range classes {
+		w := cl.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	out := make([]int, nodes)
+	assigned := make([]float64, len(classes))
+	for n := 0; n < nodes; n++ {
+		best, bestDeficit := 0, -1.0
+		for i, w := range weights {
+			deficit := w/total*float64(n+1) - assigned[i]
+			if deficit > bestDeficit {
+				best, bestDeficit = i, deficit
+			}
+		}
+		assigned[best]++
+		out[n] = best
+	}
+	return out
 }
 
 // New builds a cluster.
@@ -220,21 +341,55 @@ func New(cfg Config) *Cluster {
 	if cfg.MemCapMB <= 0 {
 		cfg.MemCapMB = gpu.DefaultMemoryMB
 	}
-	c := &Cluster{posting: make(map[string][]*GPU)}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = []GPUClass{{Name: "uniform", Capacity: 1, MemCapMB: cfg.MemCapMB, Weight: 1}}
+	}
+	classes = slices.Clone(classes)
+	for i := range classes {
+		if classes[i].Capacity <= 0 {
+			classes[i].Capacity = 1
+		}
+		if classes[i].MemCapMB <= 0 {
+			classes[i].MemCapMB = cfg.MemCapMB
+		}
+		if classes[i].Name == "" {
+			classes[i].Name = fmt.Sprintf("class-%d", i)
+		}
+	}
+	c := &Cluster{posting: make(map[string][]*GPU), classes: classes}
+	c.minCap, c.maxCap = classes[0].Capacity, classes[0].Capacity
+	for _, cl := range classes {
+		if cl.Capacity < c.minCap {
+			c.minCap = cl.Capacity
+		}
+		if cl.Capacity > c.maxCap {
+			c.maxCap = cl.Capacity
+		}
+		if cl.Capacity != classes[0].Capacity || cl.MemCapMB != classes[0].MemCapMB {
+			c.hetero = true
+		}
+	}
+	assign := classAssign(classes, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
+		ci := assign[n]
+		cl := classes[ci]
 		node := &Node{ID: fmt.Sprintf("node-%d", n)}
 		for i := 0; i < cfg.GPUsPerNode; i++ {
 			g := &GPU{
 				ID:       fmt.Sprintf("node-%d/gpu-%d", n, i),
 				Node:     node,
 				Index:    i,
-				MemCapMB: cfg.MemCapMB,
+				Class:    cl.Name,
+				Capacity: cl.Capacity,
+				MemCapMB: cl.MemCapMB,
 				clu:      c,
 				pos:      len(c.gpus),
+				classIdx: ci,
 			}
 			if cfg.WithDevices {
 				g.Dev = gpu.NewDevice(g.ID)
-				g.Dev.MemoryMB = cfg.MemCapMB
+				g.Dev.MemoryMB = cl.MemCapMB
 			}
 			node.GPUs = append(node.GPUs, g)
 			c.gpus = append(c.gpus, g)
@@ -274,6 +429,10 @@ func (c *Cluster) noteActivated(g *GPU) {
 	c.active = append(c.active, nil)
 	copy(c.active[lo+1:], c.active[lo:])
 	c.active[lo] = g
+	c.occupiedCap += g.Capacity
+	if !g.Schedulable() {
+		c.retiredActive++
+	}
 }
 
 // noteDeactivated removes g from the active list and returns its position
@@ -282,6 +441,10 @@ func (c *Cluster) noteDeactivated(g *GPU) {
 	lo := c.activeIndex(g.pos)
 	if lo < len(c.active) && c.active[lo] == g {
 		c.active = append(c.active[:lo], c.active[lo+1:]...)
+	}
+	c.occupiedCap -= g.Capacity
+	if !g.Schedulable() {
+		c.retiredActive--
 	}
 	// A stale entry from before the GPU's last activation may still sit
 	// in the heap; it is valid again now, so don't add a duplicate.
@@ -338,25 +501,62 @@ func (c *Cluster) GPUs() []*GPU { return c.gpus }
 // placement changes.
 func (c *Cluster) ActiveGPUs() []*GPU { return c.active }
 
-// FirstInactive returns the inactive GPU earliest in inventory order —
-// the GPU a linear "first !Active()" scan would find — or nil when every
-// GPU is occupied.
+// FirstInactive returns the schedulable inactive GPU earliest in
+// inventory order — the GPU a linear "first !Active() && Schedulable()"
+// scan would find — or nil when none exists. Failed and draining GPUs
+// are discarded from the heap here and pushed back by JoinNode.
 func (c *Cluster) FirstInactive() *GPU {
 	for len(c.inactive) > 0 {
 		g := c.gpus[c.inactive[0]]
-		if !g.Active() {
+		if !g.Active() && g.Schedulable() {
 			return g
 		}
-		c.inHeap[c.popInactive()] = false // stale entry from a past activation
+		c.inHeap[c.popInactive()] = false // stale (activated) or retired entry
 	}
 	return nil
 }
 
-// InactiveCount returns the number of GPUs with no placements.
+// InactiveCount returns the number of GPUs with no placements, whatever
+// their health; SchedulableInactive is the scheduler-facing count.
 func (c *Cluster) InactiveCount() int { return len(c.gpus) - len(c.active) }
 
-// AppendInactive appends up to k inactive GPUs in inventory order to dst
-// and returns the extended slice.
+// SchedulableInactive returns the number of healthy GPUs with no
+// placements — the fresh-GPU supply the schedulers can actually draw
+// from. On a churn-free cluster it equals InactiveCount.
+func (c *Cluster) SchedulableInactive() int {
+	return len(c.gpus) - len(c.active) - (c.retired - c.retiredActive)
+}
+
+// FirstInactiveFit returns the earliest schedulable inactive GPU whose
+// class fits the need — Capacity ≥ minCap (within quota epsilon) and
+// MemCapMB ≥ memMB — or nil. Too-small GPUs are skipped but stay in the
+// heap (they remain valid fresh candidates for smaller requests); on a
+// homogeneous fleet nothing is ever skipped and the result is exactly
+// FirstInactive's.
+func (c *Cluster) FirstInactiveFit(minCap, memMB float64) *GPU {
+	taken := c.takenScratch[:0]
+	var found *GPU
+	for len(c.inactive) > 0 {
+		g := c.gpus[c.inactive[0]]
+		if g.Active() || !g.Schedulable() {
+			c.inHeap[c.popInactive()] = false // stale or retired entry
+			continue
+		}
+		if minCap <= g.Capacity+1e-9 && memMB <= g.MemCapMB {
+			found = g
+			break
+		}
+		taken = append(taken, c.popInactive()) // too small for this need only
+	}
+	for _, pos := range taken {
+		c.pushInactive(pos)
+	}
+	c.takenScratch = taken
+	return found
+}
+
+// AppendInactive appends up to k schedulable inactive GPUs in inventory
+// order to dst and returns the extended slice.
 func (c *Cluster) AppendInactive(dst []*GPU, k int) []*GPU {
 	if k <= 0 {
 		return dst
@@ -364,8 +564,8 @@ func (c *Cluster) AppendInactive(dst []*GPU, k int) []*GPU {
 	taken := c.takenScratch[:0]
 	for len(taken) < k && len(c.inactive) > 0 {
 		pos := c.popInactive()
-		if c.gpus[pos].Active() {
-			c.inHeap[pos] = false // stale entry
+		if g := c.gpus[pos]; g.Active() || !g.Schedulable() {
+			c.inHeap[pos] = false // stale or retired entry
 			continue
 		}
 		taken = append(taken, pos)
@@ -381,6 +581,90 @@ func (c *Cluster) AppendInactive(dst []*GPU, k int) []*GPU {
 // OccupiedCount returns the number of active GPUs — the scheduling
 // objective Σ g_i of Equation (1).
 func (c *Cluster) OccupiedCount() int { return len(c.active) }
+
+// OccupiedCapacity returns the summed compute capacity of active GPUs —
+// the capacity-weighted occupancy that prices mixed fleets (a 0.5-
+// capacity GPU costs half a baseline device). Equals OccupiedCount on
+// homogeneous clusters.
+func (c *Cluster) OccupiedCapacity() float64 { return c.occupiedCap }
+
+// Heterogeneous reports whether the fleet mixes GPU classes differing in
+// capacity or memory.
+func (c *Cluster) Heterogeneous() bool { return c.hetero }
+
+// MinCapacity and MaxCapacity bound GPU compute capacities over the
+// inventory; the schedulers' bucket-walk pruning bounds use them. Both
+// are 1.0 on homogeneous clusters.
+func (c *Cluster) MinCapacity() float64 { return c.minCap }
+
+// MaxCapacity returns the largest GPU capacity in the fleet.
+func (c *Cluster) MaxCapacity() float64 { return c.maxCap }
+
+// ---------------------------------------------------------------------------
+// Node lifecycle: failures, drains, joins.
+
+// FailNode takes a node out of service abruptly: every placement on its
+// GPUs is evicted through the normal Remove path (so the active list,
+// free heap, posting index, and occupancy buckets stay consistent) and
+// returned to the caller as rescheduling work. The GPUs stop being
+// offered by every index until JoinNode restores them.
+func (c *Cluster) FailNode(n *Node) []*Placement {
+	var evicted []*Placement
+	for _, g := range n.GPUs {
+		for len(g.Placements) > 0 {
+			p := g.Placements[len(g.Placements)-1]
+			g.Remove(p)
+			evicted = append(evicted, p)
+		}
+		c.setHealth(g, Failed)
+	}
+	return evicted
+}
+
+// DrainNode stops new placements on a node for a planned removal.
+// Existing placements stay until their owners release (or migrate) them;
+// the node's GPUs are withheld from the fresh-GPU indexes immediately.
+func (c *Cluster) DrainNode(n *Node) {
+	for _, g := range n.GPUs {
+		c.setHealth(g, Draining)
+	}
+}
+
+// JoinNode returns a failed or drained node to service: its idle GPUs
+// re-enter the free heap and new placements are accepted again.
+func (c *Cluster) JoinNode(n *Node) {
+	for _, g := range n.GPUs {
+		c.setHealth(g, Healthy)
+	}
+}
+
+// setHealth transitions one GPU's lifecycle state, keeping the retired
+// counters and the free heap consistent. Placement eviction is the
+// caller's job (FailNode evicts before marking).
+func (c *Cluster) setHealth(g *GPU, h Health) {
+	if g.health == h {
+		return
+	}
+	switch {
+	case g.health == Healthy: // leaving service
+		c.retired++
+		if g.Active() {
+			c.retiredActive++
+		}
+	case h == Healthy: // rejoining
+		c.retired--
+		if g.Active() {
+			c.retiredActive--
+		} else if !c.inHeap[g.pos] {
+			// The GPU's heap entry was discarded while it was retired;
+			// restore it so FirstInactive can offer the GPU again.
+			c.inHeap[g.pos] = true
+			c.pushInactive(g.pos)
+		}
+		// Draining↔Failed transitions change neither counter.
+	}
+	g.health = h
+}
 
 // ---------------------------------------------------------------------------
 // Function posting index.
@@ -426,15 +710,16 @@ func (c *Cluster) notePostingRemove(fn string, g *GPU) {
 // Occupancy index.
 
 // OccupancyBuckets is the resolution of the occupancy index: active
-// GPUs are bucketed by ΣReq into bands of width 1/OccupancyBuckets,
-// with everything at or above 1.0 clamped into the top bucket.
+// GPUs are bucketed by normalized utilization (ΣReq/Capacity) into
+// bands of width 1/OccupancyBuckets, with everything at or above 1.0
+// clamped into the top bucket.
 const OccupancyBuckets = 64
 
-// OccupancyBucketOf returns the bucket index a GPU with the given ΣReq
-// belongs to. Negative inputs (float residue after removals) clamp to
-// bucket 0, values ≥ 1 to the top bucket.
-func OccupancyBucketOf(sumReq float64) int {
-	idx := int(sumReq * OccupancyBuckets)
+// OccupancyBucketOf returns the bucket index a GPU with the given
+// normalized utilization belongs to. Negative inputs (float residue
+// after removals) clamp to bucket 0, values ≥ 1 to the top bucket.
+func OccupancyBucketOf(util float64) int {
+	idx := int(util * OccupancyBuckets)
 	if idx < 0 {
 		return 0
 	}
@@ -444,12 +729,13 @@ func OccupancyBucketOf(sumReq float64) int {
 	return idx
 }
 
-// noteOccupancy records g's current ΣReq in the occupancy index. The
-// previous bucket's entry (if different) is left stale and compacted
-// lazily; occMask dedups re-insertions into a bucket that still holds a
-// stale entry, which then simply becomes valid again.
+// noteOccupancy records g's current normalized utilization in the
+// occupancy index. The previous bucket's entry (if different) is left
+// stale and compacted lazily; occMask dedups re-insertions into a
+// bucket that still holds a stale entry, which then simply becomes
+// valid again.
 func (c *Cluster) noteOccupancy(g *GPU) {
-	idx := OccupancyBucketOf(g.SumReq)
+	idx := OccupancyBucketOf(g.Util())
 	g.occIdx = idx
 	if g.occMask&(1<<idx) == 0 {
 		g.occMask |= 1 << idx
@@ -484,15 +770,16 @@ func (c *Cluster) OccupancyBucket(b int) []*GPU {
 type Stats struct {
 	OccupiedGPUs int
 	TotalGPUs    int
-	// SMFrag is the mean SM share of active GPUs not covered by any
-	// instance's true compute need (1 − ΣTrueReq, floored at 0) — the
-	// dark bars of Figure 17. Exclusive allocation shows high SMFrag
-	// because whole GPUs back fractional needs.
+	// SMFrag is the mean normalized SM share of active GPUs not covered
+	// by any instance's true compute need (1 − ΣTrueReq/Capacity,
+	// floored at 0) — the dark bars of Figure 17. Exclusive allocation
+	// shows high SMFrag because whole GPUs back fractional needs.
 	SMFrag float64
 	// MemFrag is the mean unreserved memory share across active GPUs —
 	// the striped bars of Figure 17.
 	MemFrag float64
-	// MeanReq and MeanMem are allocation densities of active GPUs.
+	// MeanReq and MeanMem are allocation densities of active GPUs
+	// (normalized utilization and memory share).
 	MeanReq float64
 	MeanMem float64
 }
@@ -505,13 +792,13 @@ func (c *Cluster) Snapshot() Stats {
 			continue
 		}
 		st.OccupiedGPUs++
-		smFree := 1 - g.SumTrueReq
+		smFree := 1 - g.SumTrueReq/g.Capacity
 		if smFree < 0 {
 			smFree = 0
 		}
 		st.SMFrag += smFree
 		st.MemFrag += 1 - g.MemUsedMB/g.MemCapMB
-		st.MeanReq += g.SumReq
+		st.MeanReq += g.Util()
 		st.MeanMem += g.MemUsedMB / g.MemCapMB
 	}
 	if st.OccupiedGPUs > 0 {
@@ -522,4 +809,36 @@ func (c *Cluster) Snapshot() Stats {
 		st.MeanMem /= n
 	}
 	return st
+}
+
+// ClassStat is the per-device-generation slice of the fleet view.
+type ClassStat struct {
+	Name     string
+	Capacity float64
+	MemCapMB float64
+	Total    int
+	Occupied int
+	Retired  int // draining or failed
+	SumReq   float64
+}
+
+// ClassStats aggregates occupancy per GPU class, in class declaration
+// order (one synthetic "uniform" entry on homogeneous clusters).
+func (c *Cluster) ClassStats() []ClassStat {
+	out := make([]ClassStat, len(c.classes))
+	for i, cl := range c.classes {
+		out[i] = ClassStat{Name: cl.Name, Capacity: cl.Capacity, MemCapMB: cl.MemCapMB}
+	}
+	for _, g := range c.gpus {
+		st := &out[g.classIdx]
+		st.Total++
+		if g.Active() {
+			st.Occupied++
+		}
+		if !g.Schedulable() {
+			st.Retired++
+		}
+		st.SumReq += g.SumReq
+	}
+	return out
 }

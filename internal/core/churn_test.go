@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dilu/internal/cluster"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+// churnSystem builds a 3-node serving system with one inference
+// function under steady load.
+func churnSystem(t *testing.T) (*System, *Function) {
+	t.Helper()
+	sys := MustSystem(Config{Nodes: 3, GPUsPerNode: 2, Seed: 11})
+	f, err := sys.DeployInference("rob", "RoBERTa-large", InferOpts{
+		Instances: 3, Arrivals: workload.Poisson{RPS: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, f
+}
+
+// placementsOnNode counts live placements across a node's GPUs.
+func placementsOnNode(n *cluster.Node) int {
+	total := 0
+	for _, g := range n.GPUs {
+		total += len(g.Placements)
+	}
+	return total
+}
+
+func TestFailNodeEvictsAndRelaunchesCold(t *testing.T) {
+	sys, f := churnSystem(t)
+	sys.Run(5 * sim.Second)
+	before := f.InstancesActive()
+	coldBefore := f.ColdStarts.Value
+	// Fail the node hosting the first instance's GPU.
+	target := f.active[0].dec.GPUs[0].Node
+	idx := -1
+	for i, n := range sys.Clu.Nodes {
+		if n == target {
+			idx = i
+		}
+	}
+	sys.FailNode(idx)
+	if got := placementsOnNode(target); got != 0 {
+		t.Fatalf("failed node still holds %d placements", got)
+	}
+	for _, g := range target.GPUs {
+		if g.Dev.ResidentCount() != 0 {
+			t.Fatalf("failed %s still executes residents", g.ID)
+		}
+	}
+	cs := sys.ChurnStats()
+	if cs.Failures != 1 || cs.EvictedInstances == 0 {
+		t.Fatalf("churn stats wrong: %+v", cs)
+	}
+	if f.ColdStarts.Value <= coldBefore {
+		t.Fatal("eviction relaunch did not pay a cold start")
+	}
+	if f.InstancesActive() != before {
+		t.Fatalf("instances %d after relaunch, want %d", f.InstancesActive(), before)
+	}
+	// The system keeps serving through and after the failure.
+	served := f.Served()
+	sys.Run(10 * sim.Second)
+	if f.Served() <= served {
+		t.Fatal("function stopped serving after the failure")
+	}
+}
+
+func TestDrainNodeMigratesMakeBeforeBreak(t *testing.T) {
+	sys, f := churnSystem(t)
+	sys.Run(5 * sim.Second)
+	target := sys.Clu.Nodes[0]
+	hadPlacements := placementsOnNode(target) > 0
+	sys.DrainNode(0)
+	// The drain completes once the replacements' cold starts elapse.
+	sys.Run(f.Spec.ColdStart() + 5*sim.Second)
+	if got := placementsOnNode(target); got != 0 {
+		t.Fatalf("drained node still holds %d placements after migration", got)
+	}
+	cs := sys.ChurnStats()
+	if cs.EvictedInstances != 0 {
+		t.Fatalf("planned drain evicted %d instances", cs.EvictedInstances)
+	}
+	if hadPlacements && cs.MigratedInstances == 0 {
+		t.Fatal("nothing migrated off the drained node")
+	}
+	// Make-before-break: capacity never dipped, so requests kept flowing.
+	served := f.Served()
+	sys.Run(5 * sim.Second)
+	if f.Served() <= served {
+		t.Fatal("function stopped serving during the drain")
+	}
+}
+
+func TestOverlappingDrainsDoNotDuplicateMigrations(t *testing.T) {
+	sys, f := churnSystem(t)
+	sys.Run(5 * sim.Second)
+	before := f.InstancesActive()
+	// Repeated drain events for the same node inside one cold-start
+	// window: the second and third must not re-migrate instances whose
+	// handover is already in flight.
+	sys.DrainNode(0)
+	afterFirst := sys.ChurnStats().MigratedInstances
+	sys.DrainNode(0)
+	sys.DrainNode(0)
+	if cs := sys.ChurnStats(); cs.MigratedInstances != afterFirst {
+		t.Fatalf("repeated drains re-migrated: %d → %d", afterFirst, cs.MigratedInstances)
+	}
+	// A different node draining in the same window may cascade-migrate
+	// the fresh replacements that landed on it — that is new work, not
+	// duplication — but the serving instance count must come back to
+	// baseline once the handovers complete, with both nodes empty.
+	sys.DrainNode(1)
+	sys.Run(2*f.Spec.ColdStart() + 5*sim.Second)
+	if got := f.InstancesActive(); got != before {
+		t.Fatalf("instances = %d after overlapping drains, want %d (no duplicates)", got, before)
+	}
+	if got := placementsOnNode(sys.Clu.Nodes[0]) + placementsOnNode(sys.Clu.Nodes[1]); got != 0 {
+		t.Fatalf("drained nodes still hold %d placements", got)
+	}
+}
+
+func TestJoinNodeRestoresPlacements(t *testing.T) {
+	sys, _ := churnSystem(t)
+	sys.Run(2 * sim.Second)
+	sys.FailNode(0)
+	sys.Run(2 * sim.Second)
+	sys.JoinNode(0)
+	node := sys.Clu.Nodes[0]
+	for _, g := range node.GPUs {
+		if !g.Schedulable() {
+			t.Fatalf("%s not schedulable after join", g.ID)
+		}
+	}
+	// A fresh deployment can land on the rejoined node again.
+	f2, err := sys.DeployInference("bert", "BERT-base", InferOpts{Instances: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f2
+}
+
+func TestTrainingJobPreemptsAndFinishes(t *testing.T) {
+	sys := MustSystem(Config{Nodes: 2, GPUsPerNode: 2, Seed: 3})
+	tj, err := sys.DeployTraining("job", "BERT-base", TrainOpts{Workers: 2, TargetIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2 * sim.Second)
+	if !tj.Started() || tj.Job.Iterations() == 0 {
+		t.Fatal("job not making progress before the failure")
+	}
+	itersBefore := tj.Job.Iterations()
+	// Fail whichever node hosts the first worker.
+	target := tj.decisions[0].GPUs[0].Node
+	idx := 0
+	for i, n := range sys.Clu.Nodes {
+		if n == target {
+			idx = i
+		}
+	}
+	sys.FailNode(idx)
+	if sys.ChurnStats().PreemptedJobs != 1 {
+		t.Fatalf("job not preempted: %+v", sys.ChurnStats())
+	}
+	for _, d := range tj.decisions {
+		for _, g := range d.GPUs {
+			if g.Node == target {
+				t.Fatalf("preempted worker re-placed on the failed node %s", g.ID)
+			}
+		}
+	}
+	sys.Run(60 * sim.Second)
+	if !tj.Job.Finished() {
+		t.Fatalf("job never finished after preemption (iters %d)", tj.Job.Iterations())
+	}
+	if tj.Job.Iterations() < itersBefore {
+		t.Fatal("iteration progress lost across preemption")
+	}
+}
+
+func TestScheduleChurnReplaysTrace(t *testing.T) {
+	sys, _ := churnSystem(t)
+	evs, err := workload.ParseChurnCSV(strings.NewReader("1,fail,0\n3,join,0\n5,drain,1\n8,join,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ScheduleChurn(evs)
+	sys.Run(10 * sim.Second)
+	cs := sys.ChurnStats()
+	if cs.Failures != 1 || cs.Drains != 1 || cs.Joins != 2 {
+		t.Fatalf("trace misapplied: %+v", cs)
+	}
+	for _, n := range sys.Clu.Nodes {
+		for _, g := range n.GPUs {
+			if !g.Schedulable() {
+				t.Fatalf("%s still retired after the trace's joins", g.ID)
+			}
+		}
+	}
+}

@@ -46,6 +46,11 @@ type servedInstance struct {
 	inst   *instance.Inference
 	dec    sched.Decision
 	stages []instance.Stage
+	// migrating marks an instance whose make-before-break replacement
+	// is already launched and whose retirement is scheduled; a second
+	// drain event inside the cold-start window must not migrate it
+	// again.
+	migrating bool
 }
 
 // warmEntry is a keep-alive (descheduled but resident) instance.

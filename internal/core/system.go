@@ -27,6 +27,9 @@ type Config struct {
 	// Nodes and GPUsPerNode define the testbed (paper default: 5 × 4).
 	Nodes       int
 	GPUsPerNode int
+	// Classes makes the fleet heterogeneous (mixed GPU generations);
+	// empty keeps the uniform capacity-1.0 fleet.
+	Classes []cluster.GPUClass
 	// Policy is the RCKM token-issuing policy name: Dilu, MPS-l, MPS-r,
 	// Exclusive, TGS, FaST-GS, Uncontrolled. Default Dilu.
 	Policy string
@@ -113,6 +116,8 @@ type System struct {
 
 	onTick []func(now sim.Time)
 
+	churn ChurnStats
+
 	invariants []Invariant
 
 	horizon sim.Duration
@@ -125,7 +130,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	clu := cluster.New(cluster.Config{Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode, WithDevices: true})
+	clu := cluster.New(cluster.Config{Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode, WithDevices: true, Classes: cfg.Classes})
 	sys := &System{
 		cfg:        cfg,
 		Eng:        sim.NewEngine(),

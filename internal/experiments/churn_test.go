@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The churn/heterogeneity drivers run here under the armed simtest
+// invariants (TestMain installs the default factory), so every fired
+// tick of every scenario verifies quota conservation per capacity
+// class, retired-GPU quiescence, and the rest of the checker suite.
+
+const heteroTableCaption = "Heterogeneous mix. Occupancy, fragmentation and capacity-weighted cost"
+
+func TestHeteroMixShape(t *testing.T) {
+	rep := HeteroMix(testOpts())
+	tab := rep.Table(heteroTableCaption)
+	if tab == nil {
+		t.Fatal("missing table")
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 schedulers", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		gpuH, err1 := strconv.ParseFloat(row[5], 64)
+		capH, err2 := strconv.ParseFloat(row[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable cost cells: %v / %v", row[5], row[6])
+		}
+		// The largest class has capacity 1.0, so capacity-weighted hours
+		// can never exceed raw GPU-hours — and on a 70/30 fleet with the
+		// small class actually used they must be strictly cheaper.
+		if capH > gpuH {
+			t.Fatalf("%s: capacity-hours %v exceed GPU-hours %v", row[0], capH, gpuH)
+		}
+		// occ big / occ small: both device generations must host work at
+		// the final snapshot under every scheduler (a mix this large
+		// cannot fit on 70% of the fleet).
+		if row[8] == "0" || row[9] == "0" {
+			t.Fatalf("scheduler %s left a device class idle: big=%s small=%s", row[0], row[8], row[9])
+		}
+	}
+	// Dilu must stay cheaper than Exclusive in capacity-hours (the
+	// Figure-17 cost ordering surviving heterogeneity).
+	dilu := tab.FindRow("Dilu")
+	if dilu == nil {
+		t.Fatal("no Dilu row")
+	}
+	if ratio, err := strconv.ParseFloat(dilu[7], 64); err != nil || ratio >= 1.0 {
+		t.Fatalf("Dilu cost vs Exclusive = %s, want < 1.0", dilu[7])
+	}
+}
+
+func TestChurnRecoveryShape(t *testing.T) {
+	rep := ChurnRecovery(testOpts())
+	if rep.SLO == nil || rep.SLO.Requests == 0 {
+		t.Fatal("churn_recovery must attach a non-empty SLO summary")
+	}
+	tab := rep.Table("Failure wave: aggregate SLO accounting by system")
+	if tab == nil || len(tab.Rows) != 3 {
+		t.Fatal("aggregate table wrong")
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			t.Fatalf("system %s served nothing through the wave", row[0])
+		}
+		if row[7] == "0" {
+			t.Fatalf("system %s saw no evictions — the wave did not bite", row[0])
+		}
+	}
+}
+
+func TestRollingDrainZeroEvictions(t *testing.T) {
+	rep := RollingDrain(testOpts())
+	if rep.SLO == nil || rep.SLO.Requests == 0 {
+		t.Fatal("rolling_drain must attach a non-empty SLO summary")
+	}
+	tab := rep.Table("Rolling drain: aggregate SLO accounting by system")
+	if tab == nil || len(tab.Rows) != 3 {
+		t.Fatal("aggregate table wrong")
+	}
+	for _, row := range tab.Rows {
+		// Zero-downtime signature: migrations happened, evictions did not.
+		if row[7] != "0" {
+			t.Fatalf("system %s evicted instances during a planned drain: %s", row[0], row[7])
+		}
+		if row[8] == "0" {
+			t.Fatalf("system %s migrated nothing — the sweep did not bite", row[0])
+		}
+	}
+}
+
+func TestChurnDriversDeterministic(t *testing.T) {
+	if a, b := ChurnRecovery(testOpts()), ChurnRecovery(testOpts()); a.Table("Failure wave: aggregate SLO accounting by system").String() !=
+		b.Table("Failure wave: aggregate SLO accounting by system").String() {
+		t.Fatal("churn_recovery not deterministic across runs")
+	}
+	if a, b := RollingDrain(testOpts()), RollingDrain(testOpts()); a.Table("Rolling drain: aggregate SLO accounting by system").String() !=
+		b.Table("Rolling drain: aggregate SLO accounting by system").String() {
+		t.Fatal("rolling_drain not deterministic across runs")
+	}
+	if a, b := HeteroMix(testOpts()), HeteroMix(testOpts()); a.Table(heteroTableCaption).String() !=
+		b.Table(heteroTableCaption).String() {
+		t.Fatal("hetero_mix not deterministic across runs")
+	}
+}

@@ -97,7 +97,28 @@ func runLargeScale(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance, 
 // hyperscale driver runs 10,000 nodes); it additionally reports how many
 // deployment requests were placed.
 func runLargeScaleOn(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance, horizon sim.Duration, nodes int) (*metrics.Series, cluster.Stats, float64, int) {
-	clu := cluster.New(cluster.Config{Nodes: nodes, GPUsPerNode: 4})
+	r := runLargeScaleClu(mk, mix, horizon, cluster.Config{Nodes: nodes, GPUsPerNode: 4})
+	return r.occ, r.stats, r.gpuSeconds, r.placed
+}
+
+// lsResult is one scheduler's large-scale replay outcome.
+type lsResult struct {
+	occ        *metrics.Series
+	stats      cluster.Stats
+	classes    []cluster.ClassStat
+	gpuSeconds float64
+	// capSeconds integrates capacity-weighted occupancy — the cost
+	// measure that prices a fractional-capacity GPU at its fraction.
+	// Equals gpuSeconds on homogeneous fleets.
+	capSeconds float64
+	placed     int
+}
+
+// runLargeScaleClu is the configurable-cluster core of the large-scale
+// placement replays: the heterogeneity drivers pass mixed GPU classes,
+// everything else a plain node count.
+func runLargeScaleClu(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance, horizon sim.Duration, cfg cluster.Config) lsResult {
+	clu := cluster.New(cfg)
 	s := mk(clu)
 	var events []lsEvent
 	for i, inst := range mix {
@@ -120,13 +141,14 @@ func runLargeScaleOn(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance
 	placed := map[int][]sched.Decision{}
 	occ := metrics.NewSeries(s.Name() + "/occupied-gpus")
 	placedCount := 0
-	var gpuSeconds float64
+	var gpuSeconds, capSeconds float64
 	var lastAt sim.Time
-	var lastOcc float64
+	var lastOcc, lastCap float64
 	record := func(at sim.Time) {
 		cur := float64(clu.OccupiedCount())
 		gpuSeconds += lastOcc * (at - lastAt).Seconds()
-		lastAt, lastOcc = at, cur
+		capSeconds += lastCap * (at - lastAt).Seconds()
+		lastAt, lastOcc, lastCap = at, cur, clu.OccupiedCapacity()
 		occ.Add(at, cur)
 	}
 	for _, ev := range events {
@@ -149,7 +171,8 @@ func runLargeScaleOn(mk func(*cluster.Cluster) sched.Scheduler, mix []lsInstance
 		record(ev.at)
 	}
 	record(horizon)
-	return occ, clu.Snapshot(), gpuSeconds, placedCount
+	return lsResult{occ: occ, stats: clu.Snapshot(), classes: clu.ClassStats(),
+		gpuSeconds: gpuSeconds, capSeconds: capSeconds, placed: placedCount}
 }
 
 // figure17Schedulers builds the three §5.5 comparison schedulers.

@@ -19,6 +19,13 @@ import (
 // requiring identical GPU choices decision by decision. It caught a
 // duplicate free-heap entry during the PR-2 refactor; keep it in sync
 // with any future selection-semantics change.
+//
+// Since the heterogeneity work the references carry the capacity-
+// normalized formulas (feasibility against Ω·Capacity, scores and free
+// shares over ΣReq/Capacity, schedulability guards) — bit-identical to
+// the pre-capacity expressions when every Capacity is 1.0 — and the
+// replay runs in three fleets: the homogeneous original, a 70/30
+// big/small mix, and a homogeneous fleet under fail/drain/join churn.
 
 // oldDilu replays Algorithm 1 with the pre-index full-scan logic.
 type oldDilu struct {
@@ -83,7 +90,7 @@ func (s *oldDilu) placeSingle(req sched.Request) (sched.Decision, error) {
 		gpu = s.selectOptGPU(s.activeGPUs(), p, req.Func)
 	}
 	if gpu == nil {
-		gpu = s.freshGPU()
+		gpu = s.freshGPU(p)
 	}
 	if gpu == nil {
 		return sched.Decision{}, sched.ErrNoCapacity
@@ -110,6 +117,15 @@ func shardProfileOld(p profiler.Profile, stages int) profiler.Profile {
 	return p
 }
 
+// moreFreeRef is the reference normalized free-memory comparison
+// (deliberately re-derived rather than shared with the scheduler).
+func moreFreeRef(ga *cluster.GPU, freeA float64, gb *cluster.GPU, freeB float64) bool {
+	if ga.MemCapMB == gb.MemCapMB {
+		return freeA > freeB
+	}
+	return freeA*gb.MemCapMB > freeB*ga.MemCapMB
+}
+
 func (s *oldDilu) placeMultiGPU(req sched.Request, stages int) (sched.Decision, error) {
 	p := shardProfileOld(req.Profile, stages)
 	type cand struct {
@@ -118,10 +134,13 @@ func (s *oldDilu) placeMultiGPU(req sched.Request, stages int) (sched.Decision, 
 	}
 	var cands []cand
 	for _, g := range s.clu.GPUs() {
-		if g.SumReq+p.SMReq > s.opts.Omega+1e-9 {
+		if !g.Schedulable() {
 			continue
 		}
-		if g.SumLim+p.SMLim > s.opts.Gamma+1e-9 {
+		if g.SumReq+p.SMReq > s.opts.Omega*g.Capacity+1e-9 {
+			continue
+		}
+		if g.SumLim+p.SMLim > s.opts.Gamma*g.Capacity+1e-9 {
 			continue
 		}
 		if g.MemUsedMB+p.MemMB > g.MemCapMB {
@@ -135,7 +154,7 @@ func (s *oldDilu) placeMultiGPU(req sched.Request, stages int) (sched.Decision, 
 	for i := 0; i < stages; i++ {
 		best := i
 		for j := i + 1; j < len(cands); j++ {
-			if cands[j].free > cands[best].free {
+			if moreFreeRef(cands[j].g, cands[j].free, cands[best].g, cands[best].free) {
 				best = j
 			}
 		}
@@ -192,16 +211,19 @@ func (s *oldDilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn stri
 	bestScore := 1e18
 	var best *cluster.GPU
 	for _, g := range cands {
+		if !g.Schedulable() {
+			continue
+		}
 		newReq := g.SumReq + p.SMReq
 		newLim := g.SumLim + p.SMLim
 		newMem := g.MemUsedMB + p.MemMB
-		if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+		if newReq > s.opts.Omega*g.Capacity+1e-9 || newLim > s.opts.Gamma*g.Capacity+1e-9 || newMem > g.MemCapMB {
 			continue
 		}
 		if g.HostsFunc(fn) && p.Role == profiler.RoleTraining {
 			continue
 		}
-		score := s.opts.Alpha * (1 - newReq/1.0)
+		score := s.opts.Alpha * (1 - newReq/g.Capacity)
 		if !s.opts.DisableComplementary {
 			score += s.opts.Beta * (1 - newMem/g.MemCapMB)
 		}
@@ -216,9 +238,13 @@ func (s *oldDilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn stri
 	return best
 }
 
-func (s *oldDilu) freshGPU() *cluster.GPU {
+func (s *oldDilu) freshGPU(p profiler.Profile) *cluster.GPU {
+	minCap := p.SMReq / s.opts.Omega
+	if lc := p.SMLim / s.opts.Gamma; lc > minCap {
+		minCap = lc
+	}
 	for _, g := range s.clu.GPUs() {
-		if !g.Active() {
+		if !g.Active() && g.Schedulable() && minCap <= g.Capacity+1e-9 && p.MemMB <= g.MemCapMB {
 			return g
 		}
 	}
@@ -243,9 +269,9 @@ func (s *oldStatic) quota(p profiler.Profile) float64 {
 	return p.SMReq
 }
 
-func (s *oldStatic) firstInactive() *cluster.GPU {
+func (s *oldStatic) firstInactiveFit(minCap, memMB float64) *cluster.GPU {
 	for _, g := range s.clu.GPUs() {
-		if !g.Active() {
+		if !g.Active() && g.Schedulable() && minCap <= g.Capacity+1e-9 && memMB <= g.MemCapMB {
 			return g
 		}
 	}
@@ -254,18 +280,18 @@ func (s *oldStatic) firstInactive() *cluster.GPU {
 
 func (s *oldStatic) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if wholeGPU {
-		return s.firstInactive()
+		return s.firstInactiveFit(q, memMB)
 	}
 	var best *cluster.GPU
 	bestFree := 2.0
 	for _, g := range s.clu.GPUs() {
-		if !g.Active() {
+		if !g.Active() || !g.Schedulable() {
 			continue
 		}
-		if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+		if g.SumReq+q > g.Capacity+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
 			continue
 		}
-		free := 1 - g.SumReq
+		free := 1 - g.Util()
 		if free < bestFree {
 			bestFree = free
 			best = g
@@ -274,7 +300,7 @@ func (s *oldStatic) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if best != nil {
 		return best
 	}
-	return s.firstInactive()
+	return s.firstInactiveFit(q, memMB)
 }
 
 func (s *oldStatic) Schedule(req sched.Request) ([]sched.Decision, error) {
@@ -345,7 +371,8 @@ func (s *oldExclusive) Schedule(req sched.Request) ([]sched.Decision, error) {
 		for i := 0; i < stages; i++ {
 			var g *cluster.GPU
 			for _, cand := range s.clu.GPUs() {
-				if !cand.Active() {
+				if !cand.Active() && cand.Schedulable() &&
+					req.Profile.MemMB/float64(stages) <= cand.MemCapMB {
 					g = cand
 					break
 				}
@@ -359,7 +386,7 @@ func (s *oldExclusive) Schedule(req sched.Request) ([]sched.Decision, error) {
 			}
 			pl := &cluster.Placement{
 				Instance: fmt.Sprintf("%s/s%d", d.Instance, i), Func: req.Func,
-				Req: 1, Lim: 1, MemMB: req.Profile.MemMB / float64(stages),
+				Req: g.Capacity, Lim: g.Capacity, MemMB: req.Profile.MemMB / float64(stages),
 				TrueReq: req.Profile.SMReq / float64(stages),
 			}
 			if err := g.Place(pl); err != nil {
@@ -385,8 +412,42 @@ func optsWithDefaults() sched.Options {
 // includes the lazily-compacted index states after removals.
 func replayMixEquiv(t *testing.T, sNew, sOld sched.Scheduler) {
 	t.Helper()
+	replayMixEquivChurn(t, sNew, sOld, false)
+}
+
+// replayMixEquivChurn is replayMixEquiv with an optional deterministic
+// fail/drain/join storm interleaved into the replay (identically on
+// both clusters): every 59th event either retires the next node
+// (alternating abrupt failure and drain) or rejoins the oldest retired
+// one, so the differential coverage includes evicted placements, free-
+// heap entries discarded for retired slots, and post-join re-offers.
+func replayMixEquivChurn(t *testing.T, sNew, sOld sched.Scheduler, churn bool) {
+	t.Helper()
 	horizon := 3600 * sim.Second
 	mix := largeScaleMix(3200, horizon, sim.NewRNG(1))
+	var retired []int
+	churnStep := 0
+	applyChurn := func() {
+		cluNew, cluOld := sNew.Cluster(), sOld.Cluster()
+		nodes := len(cluNew.Nodes)
+		churnStep++
+		if len(retired) > 2 {
+			node := retired[0]
+			retired = retired[1:]
+			cluNew.JoinNode(cluNew.Nodes[node])
+			cluOld.JoinNode(cluOld.Nodes[node])
+			return
+		}
+		node := (churnStep * 131) % nodes
+		if churnStep%2 == 0 {
+			cluNew.FailNode(cluNew.Nodes[node])
+			cluOld.FailNode(cluOld.Nodes[node])
+		} else {
+			cluNew.DrainNode(cluNew.Nodes[node])
+			cluOld.DrainNode(cluOld.Nodes[node])
+		}
+		retired = append(retired, node)
+	}
 
 	var events []lsEvent
 	for i, inst := range mix {
@@ -408,6 +469,9 @@ func replayMixEquiv(t *testing.T, sNew, sOld sched.Scheduler) {
 	placedOld := map[int][]sched.Decision{}
 	failures := 0
 	for n, ev := range events {
+		if churn && n%59 == 0 {
+			applyChurn()
+		}
 		inst := mix[ev.idx]
 		if ev.arrive {
 			req := sched.Request{Func: inst.fn, Profile: inst.profile,
@@ -483,4 +547,60 @@ func TestExclusiveSchedulerIndexEquivalence(t *testing.T) {
 	replayMixEquiv(t,
 		sched.NewExclusive(cluNew),
 		&oldExclusive{clu: cluOld})
+}
+
+// heteroEquivConfig is the mixed-fleet topology of the heterogeneous
+// differential replays — the same 70/30 class split the hetero_mix
+// driver runs, at a size where capacity failures exercise the fallback
+// paths on both implementations.
+func heteroEquivConfig() cluster.Config {
+	return cluster.Config{Nodes: 1000, GPUsPerNode: 4, Classes: heteroClasses()}
+}
+
+func TestDiluHeteroIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(heteroEquivConfig())
+	cluOld := cluster.New(heteroEquivConfig())
+	replayMixEquiv(t,
+		sched.NewDilu(cluNew, sched.Options{}),
+		&oldDilu{opts: optsWithDefaults(), clu: cluOld})
+}
+
+func TestStaticHeteroIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(heteroEquivConfig())
+	cluOld := cluster.New(heteroEquivConfig())
+	replayMixEquiv(t,
+		sched.NewINFlessL(cluNew),
+		&oldStatic{useLimit: true, clu: cluOld})
+}
+
+func TestExclusiveHeteroIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(heteroEquivConfig())
+	cluOld := cluster.New(heteroEquivConfig())
+	replayMixEquiv(t,
+		sched.NewExclusive(cluNew),
+		&oldExclusive{clu: cluOld})
+}
+
+func TestDiluChurnIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquivChurn(t,
+		sched.NewDilu(cluNew, sched.Options{}),
+		&oldDilu{opts: optsWithDefaults(), clu: cluOld}, true)
+}
+
+func TestStaticChurnIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	cluOld := cluster.New(cluster.Config{Nodes: 1000, GPUsPerNode: 4})
+	replayMixEquivChurn(t,
+		sched.NewINFlessL(cluNew),
+		&oldStatic{useLimit: true, clu: cluOld}, true)
+}
+
+func TestDiluHeteroChurnIndexEquivalence(t *testing.T) {
+	cluNew := cluster.New(heteroEquivConfig())
+	cluOld := cluster.New(heteroEquivConfig())
+	replayMixEquivChurn(t,
+		sched.NewDilu(cluNew, sched.Options{}),
+		&oldDilu{opts: optsWithDefaults(), clu: cluOld}, true)
 }

@@ -264,6 +264,29 @@ func (in *Inference) DropQueue() []Request {
 	return q
 }
 
+// Abort cancels the in-flight batch and drops the queue — the forced
+// teardown of a node failure or migration, where waiting for the batch
+// is not an option. Every uncompleted request (executing ones first, in
+// batch order, then the queue) is returned for gateway re-dispatch with
+// its original Arrive stamp, so retried requests pay their lost work in
+// recorded latency. Execution state resets, leaving the instance idle.
+func (in *Inference) Abort() []Request {
+	reqs := make([]Request, 0, len(in.batch)+len(in.queue))
+	reqs = append(reqs, in.batch...)
+	reqs = append(reqs, in.queue...)
+	in.batch = in.batch[:0]
+	in.queue = nil
+	in.steps = 0
+	in.totalSteps = 0
+	in.stepWork = 0
+	for _, st := range in.Stages {
+		if st.Client != nil {
+			st.Client.SetPressured(false)
+		}
+	}
+	return reqs
+}
+
 // Idle reports whether the instance has no queued or executing work.
 func (in *Inference) Idle() bool { return len(in.queue) == 0 && in.steps == 0 }
 
@@ -441,6 +464,25 @@ func (tr *Training) PostTick(now sim.Time) {
 	tr.phase = TrainSyncing
 	tr.syncUntil = done + tr.Spec.TrainSync
 	tr.iterStart = 0
+}
+
+// Preempt swaps the job's entire worker set after an eviction (node
+// failure or drain): checkpoint-restart semantics. The interrupted
+// iteration is abandoned — at most one iteration of work is lost — and
+// the job resumes from a fresh compute phase on the new workers at the
+// next tick. Completed-iteration and sample counters are preserved.
+func (tr *Training) Preempt(workers []Stage) {
+	if len(workers) == 0 {
+		panic("instance: training needs at least one worker")
+	}
+	k := tr.Spec.TrainSatK()
+	for _, w := range workers {
+		w.Res.SatK = k
+	}
+	tr.Workers = workers
+	tr.phase = TrainCompute
+	tr.iterStart = 0
+	tr.syncUntil = 0
 }
 
 // AtBoundary reports whether the job is between iterations (syncing or

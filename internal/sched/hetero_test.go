@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"testing"
+
+	"dilu/internal/cluster"
+)
+
+// heteroCluster builds a mixed 1.0/0.5-capacity fleet (interleaved by
+// the weighted round-robin of cluster.New).
+func heteroCluster(nodes int) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Nodes: nodes, GPUsPerNode: 2,
+		Classes: []cluster.GPUClass{
+			{Name: "big", Capacity: 1.0, MemCapMB: 40 * 1024, Weight: 0.5},
+			{Name: "small", Capacity: 0.5, MemCapMB: 24 * 1024, Weight: 0.5},
+		},
+	})
+}
+
+func TestDiluRespectsPerClassCapacity(t *testing.T) {
+	clu := heteroCluster(4)
+	s := NewDilu(clu, Options{})
+	// GPT2-large training requests ~0.47: two of them break Ω·0.5 on a
+	// small GPU but fit a big one together.
+	p := trainProfile("GPT2-large")
+	for i := 0; i < 6; i++ {
+		if _, err := s.Schedule(Request{Func: "job", Profile: p, Instances: 1}); err != nil {
+			t.Fatalf("placement %d: %v", i, err)
+		}
+	}
+	for _, g := range clu.GPUs() {
+		if g.SumReq > g.Capacity+1e-9 {
+			t.Fatalf("%s (cap %.1f) oversubscribed: ΣReq=%v", g.ID, g.Capacity, g.SumReq)
+		}
+	}
+}
+
+func TestStaticRespectsPerClassCapacity(t *testing.T) {
+	clu := heteroCluster(4)
+	s := NewINFlessL(clu)
+	// GPT2-large inference limit quota is 0.6 > 0.5: small GPUs must
+	// never host it.
+	p := infProfile("GPT2-large")
+	for i := 0; i < 4; i++ {
+		decs, err := s.Schedule(Request{Func: "gpt", Profile: p, Instances: 1})
+		if err != nil {
+			t.Fatalf("placement %d: %v", i, err)
+		}
+		if g := decs[0].GPUs[0]; g.Capacity < p.SMLim {
+			t.Fatalf("placement %d landed on %s with capacity %.1f < quota %.1f",
+				i, g.ID, g.Capacity, p.SMLim)
+		}
+	}
+	// BERT-base inference (limit 0.2) fits both generations; best-fit by
+	// normalized free share must prefer the fuller (small) devices once
+	// they host anything.
+	small := clu.GPUs()[2] // node-1 is the small class under 50/50 interleave
+	if small.Capacity != 0.5 {
+		t.Fatalf("expected small GPU at pos 2, got capacity %v", small.Capacity)
+	}
+}
+
+func TestExclusiveReservesWholeCapacity(t *testing.T) {
+	clu := heteroCluster(2)
+	s := NewExclusive(clu)
+	decs, err := s.Schedule(Request{Func: "f", Profile: infProfile("BERT-base"), Instances: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decs {
+		g := d.GPUs[0]
+		if d.Placements[0].Req != g.Capacity {
+			t.Fatalf("%s: exclusive Req=%v, want whole capacity %v", g.ID, d.Placements[0].Req, g.Capacity)
+		}
+		if u := g.Util(); u < 1-1e-9 || u > 1+1e-9 {
+			t.Fatalf("%s: exclusive utilization %v, want 1.0", g.ID, u)
+		}
+	}
+}
+
+func TestSchedulersSkipRetiredGPUs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(*cluster.Cluster) Scheduler
+	}{
+		{"Dilu", func(c *cluster.Cluster) Scheduler { return NewDilu(c, Options{}) }},
+		{"INFless+-l", func(c *cluster.Cluster) Scheduler { return NewINFlessL(c) }},
+		{"Exclusive", func(c *cluster.Cluster) Scheduler { return NewExclusive(c) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clu := cluster.New(cluster.Config{Nodes: 3, GPUsPerNode: 2})
+			s := tc.mk(clu)
+			// Seed some load so active-set paths engage, then retire two
+			// of three nodes.
+			if _, err := s.Schedule(Request{Func: "seed", Profile: infProfile("BERT-base"), Instances: 2}); err != nil {
+				t.Fatal(err)
+			}
+			clu.FailNode(clu.Nodes[0])
+			clu.DrainNode(clu.Nodes[1])
+			for i := 0; i < 4; i++ {
+				decs, err := s.Schedule(Request{Func: "after", Profile: infProfile("VGG19"), Instances: 1})
+				if err != nil {
+					break // node 2 full is fine; wrong placements are not
+				}
+				for _, g := range decs[0].GPUs {
+					if g.Node != clu.Nodes[2] {
+						t.Fatalf("placement %d landed on retired node %s", i, g.Node.ID)
+					}
+				}
+			}
+			// After rejoin, retired nodes are usable again.
+			clu.JoinNode(clu.Nodes[0])
+			decs, err := s.Schedule(Request{Func: "rejoined", Profile: infProfile("BERT-base"), Instances: 1})
+			if err != nil {
+				t.Fatalf("post-join placement failed: %v", err)
+			}
+			_ = decs
+		})
+	}
+}
+
+func TestDiluMultiGPUHeteroWorstFit(t *testing.T) {
+	clu := heteroCluster(4)
+	s := NewDilu(clu, Options{})
+	// LLaMA2-7B shards over 4 stages (per-stage req 0.2, mem 4096):
+	// feasible on both generations; worst-fit by normalized free share
+	// must spread stages over idle GPUs of either class without
+	// breaking per-class capacity.
+	p := infProfile("LLaMA2-7B")
+	decs, err := s.Schedule(Request{Func: "llm", Profile: p, Instances: 1, GPUsPerInstance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs[0].GPUs) != 4 {
+		t.Fatalf("stages placed on %d GPUs, want 4", len(decs[0].GPUs))
+	}
+	seen := map[*cluster.GPU]bool{}
+	for _, g := range decs[0].GPUs {
+		if seen[g] {
+			t.Fatalf("stage stacked on %s", g.ID)
+		}
+		seen[g] = true
+		if g.SumReq > g.Capacity+1e-9 {
+			t.Fatalf("%s oversubscribed by sharding: %v > %v", g.ID, g.SumReq, g.Capacity)
+		}
+	}
+}

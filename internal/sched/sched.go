@@ -39,11 +39,36 @@ type Decision struct {
 	Placements []*cluster.Placement
 }
 
-// Release returns the decision's reservations to the cluster.
+// Release returns the decision's reservations to the cluster. Removing
+// a placement already evicted (by cluster.FailNode) is a no-op, so
+// releasing a decision after a failure double-counts nothing.
 func (d *Decision) Release() {
 	for i, p := range d.Placements {
 		d.GPUs[i].Remove(p)
 	}
+}
+
+// OnFailedGPU reports whether any of the decision's GPUs has failed —
+// the instance's reservations are gone and it must be rescheduled.
+func (d *Decision) OnFailedGPU() bool {
+	for _, g := range d.GPUs {
+		if g.Health() == cluster.Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// OnRetiredGPU reports whether any of the decision's GPUs has left
+// service (failed or draining) — the gateway should migrate the
+// instance off the node.
+func (d *Decision) OnRetiredGPU() bool {
+	for _, g := range d.GPUs {
+		if !g.Schedulable() {
+			return true
+		}
+	}
+	return false
 }
 
 // Scheduler places deployment requests onto a cluster.
@@ -186,7 +211,7 @@ func (s *Dilu) placeSingle(req Request) (Decision, error) {
 		gpu = s.selectOptGPUActive(p, req.Func)
 	}
 	if gpu == nil {
-		gpu = s.freshGPU()
+		gpu = s.freshGPU(p)
 	}
 	if gpu == nil {
 		return Decision{}, ErrNoCapacity
@@ -206,6 +231,17 @@ func (s *Dilu) placeSingle(req Request) (Decision, error) {
 type multiCand struct {
 	g    *cluster.GPU
 	free float64
+}
+
+// moreFreeMem reports whether a has a strictly larger normalized
+// free-memory share than b. Equal-capacity GPUs compare raw free MB —
+// bit-identical to the pre-heterogeneity comparison — while mixed caps
+// cross-multiply instead of dividing, avoiding rounding collapse.
+func moreFreeMem(a, b multiCand) bool {
+	if a.g.MemCapMB == b.g.MemCapMB {
+		return a.free > b.free
+	}
+	return a.free*b.g.MemCapMB > b.free*a.g.MemCapMB
 }
 
 // placeMultiGPU shards an LLM instance over `stages` GPU fragments using
@@ -228,49 +264,71 @@ func (s *Dilu) placeMultiGPU(req Request, stages int) (Decision, error) {
 		return s.placeExclusiveStages(req, stages)
 	}
 	feasible := func(g *cluster.GPU) bool {
-		return g.SumReq+p.SMReq <= s.opts.Omega+1e-9 &&
-			g.SumLim+p.SMLim <= s.opts.Gamma+1e-9 &&
+		return g.Schedulable() &&
+			g.SumReq+p.SMReq <= s.opts.Omega*g.Capacity+1e-9 &&
+			g.SumLim+p.SMLim <= s.opts.Gamma*g.Capacity+1e-9 &&
 			g.MemUsedMB+p.MemMB <= g.MemCapMB
 	}
-	s.inactScratch = s.clu.AppendInactive(s.inactScratch[:0], stages)
-	inactives := s.inactScratch
 	cands := s.candScratch[:0]
-	feasibleCount := 0
-	// Merge actives and the capped inactives in inventory order so the
-	// candidate list is a (never-selected-elements-removed) copy of the
-	// full-scan list.
-	ii := 0
-	for _, g := range s.clu.ActiveGPUs() {
-		for ii < len(inactives) && inactives[ii].Pos() < g.Pos() {
+	if s.clu.Heterogeneous() {
+		// Mixed fleets void the "inactive GPUs are interchangeable"
+		// argument below (classes differ in memory and capacity, so
+		// feasibility and worst-fit rank vary across idle GPUs): fall
+		// back to a full inventory scan. Multi-GPU (LLM) placements are
+		// the rare case, and heterogeneous drivers run at cluster sizes
+		// where an O(inventory) scan per LLM instance is acceptable.
+		for _, g := range s.clu.GPUs() {
+			if feasible(g) {
+				cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
+			}
+		}
+		s.candScratch = cands
+		if len(cands) < stages {
+			return Decision{}, ErrNoCapacity
+		}
+	} else {
+		s.inactScratch = s.clu.AppendInactive(s.inactScratch[:0], stages)
+		inactives := s.inactScratch
+		feasibleCount := 0
+		// Merge actives and the capped inactives in inventory order so the
+		// candidate list is a (never-selected-elements-removed) copy of the
+		// full-scan list.
+		ii := 0
+		for _, g := range s.clu.ActiveGPUs() {
+			for ii < len(inactives) && inactives[ii].Pos() < g.Pos() {
+				if feasible(inactives[ii]) {
+					cands = append(cands, multiCand{inactives[ii], inactives[ii].MemCapMB - inactives[ii].MemUsedMB})
+				}
+				ii++
+			}
+			if feasible(g) {
+				cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
+				feasibleCount++
+			}
+		}
+		for ; ii < len(inactives); ii++ {
 			if feasible(inactives[ii]) {
 				cands = append(cands, multiCand{inactives[ii], inactives[ii].MemCapMB - inactives[ii].MemUsedMB})
 			}
-			ii++
 		}
-		if feasible(g) {
-			cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
-			feasibleCount++
+		s.candScratch = cands
+		// Feasibility counts every schedulable inactive GPU, not just the
+		// capped sample: on a single-class fleet they are interchangeable,
+		// so one check covers all of them.
+		if n := s.clu.SchedulableInactive(); n > 0 && len(inactives) > 0 && feasible(inactives[0]) {
+			feasibleCount += n
+		}
+		if feasibleCount < stages {
+			return Decision{}, ErrNoCapacity
 		}
 	}
-	for ; ii < len(inactives); ii++ {
-		if feasible(inactives[ii]) {
-			cands = append(cands, multiCand{inactives[ii], inactives[ii].MemCapMB - inactives[ii].MemUsedMB})
-		}
-	}
-	s.candScratch = cands
-	// Feasibility counts every inactive GPU, not just the capped sample:
-	// they are interchangeable, so one check covers all of them.
-	if n := s.clu.InactiveCount(); n > 0 && len(inactives) > 0 && feasible(inactives[0]) {
-		feasibleCount += n
-	}
-	if feasibleCount < stages {
-		return Decision{}, ErrNoCapacity
-	}
-	// Worst fit: stable selection of the most-free GPUs.
+	// Worst fit: stable selection of the GPUs with the largest
+	// normalized free-memory share (equal-capacity GPUs compare raw free
+	// MB, so homogeneous fleets rank exactly as before normalization).
 	for i := 0; i < stages; i++ {
 		best := i
 		for j := i + 1; j < len(cands); j++ {
-			if cands[j].free > cands[best].free {
+			if moreFreeMem(cands[j], cands[best]) {
 				best = j
 			}
 		}
@@ -299,7 +357,7 @@ func (s *Dilu) placeExclusiveStages(req Request, stages int) (Decision, error) {
 	id := s.nextID(req.Func)
 	d := Decision{Instance: id, Func: req.Func}
 	for i := 0; i < stages; i++ {
-		g := s.freshGPU()
+		g := s.freshGPU(prof)
 		if g == nil {
 			d.Release()
 			return Decision{}, ErrNoCapacity
@@ -373,10 +431,13 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 	bestScore := 1e18
 	var best *cluster.GPU
 	for _, g := range cands {
+		if !g.Schedulable() {
+			continue
+		}
 		newReq := g.SumReq + p.SMReq
 		newLim := g.SumLim + p.SMLim
 		newMem := g.MemUsedMB + p.MemMB
-		if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+		if newReq > s.opts.Omega*g.Capacity+1e-9 || newLim > s.opts.Gamma*g.Capacity+1e-9 || newMem > g.MemCapMB {
 			continue
 		}
 		if g.HostsFunc(fn) && p.Role == profiler.RoleTraining {
@@ -384,7 +445,7 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 			// compute in lockstep and simply halve each other.
 			continue
 		}
-		score := s.opts.Alpha * (1 - newReq/1.0)
+		score := s.opts.Alpha * (1 - newReq/g.Capacity)
 		if !s.opts.DisableComplementary {
 			score += s.opts.Beta * (1 - newMem/g.MemCapMB)
 		}
@@ -410,13 +471,16 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 // first (inventory-order) candidate achieving the minimum score, i.e.
 // the lexicographic argmin of (score, Pos). Bucket order is arbitrary,
 // so the same argmin is computed explicitly; and since the SM term
-// alone satisfies score ≥ α·(1 − (ΣReq + req)) — the memory term and
-// the same-function penalty are non-negative — a bucket bound strictly
-// above bestScore proves no remaining candidate can beat *or tie* it.
+// alone satisfies score ≥ α·(1 − (util + req/cap)) ≥ α·(1 − (ub +
+// req/min-cap)) — the memory term and the same-function penalty are
+// non-negative — a bucket bound strictly above bestScore proves no
+// remaining candidate can beat *or tie* it.
 func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
-	// Buckets whose ΣReq lower bound already breaks Ω hold no feasible
-	// candidate; start below them.
-	headroom := s.opts.Omega + 1e-9 - p.SMReq
+	// Buckets whose normalized-utilization lower bound already breaks Ω
+	// for even the largest-capacity GPU hold no feasible candidate;
+	// start below them. (On a homogeneous fleet MaxCapacity is 1.0 and
+	// x/1.0 ≡ x, so the bound is bit-identical to the pre-capacity one.)
+	headroom := s.opts.Omega + 1e-9 - p.SMReq/s.clu.MaxCapacity()
 	if headroom < 0 {
 		return nil
 	}
@@ -431,27 +495,32 @@ func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
 	// hyperscale batch profile.
 	hostsAny := len(s.clu.FuncGPUs(fn)) > 0
 	for b := start; b >= 0; b-- {
-		// Everything in buckets ≤ b has ΣReq < (b+1)/Buckets (the top
-		// bucket is clamped, but the walk starts at most there and its
-		// bound is checked after scanning it).
+		// Everything in buckets ≤ b has utilization < (b+1)/Buckets (the
+		// top bucket is clamped, but the walk starts at most there and
+		// its bound is checked after scanning it). The score lower bound
+		// divides the request by the smallest capacity in the fleet —
+		// the largest possible normalized increment.
 		if best != nil {
 			ub := float64(b+1) / cluster.OccupancyBuckets
-			if s.opts.Alpha*(1-(ub+p.SMReq)) > bestScore {
+			if s.opts.Alpha*(1-(ub+p.SMReq/s.clu.MinCapacity())) > bestScore {
 				break
 			}
 		}
 		for _, g := range s.clu.OccupancyBucket(b) {
+			if !g.Schedulable() {
+				continue
+			}
 			newReq := g.SumReq + p.SMReq
 			newLim := g.SumLim + p.SMLim
 			newMem := g.MemUsedMB + p.MemMB
-			if newReq > s.opts.Omega+1e-9 || newLim > s.opts.Gamma+1e-9 || newMem > g.MemCapMB {
+			if newReq > s.opts.Omega*g.Capacity+1e-9 || newLim > s.opts.Gamma*g.Capacity+1e-9 || newMem > g.MemCapMB {
 				continue
 			}
 			hosts := hostsAny && g.HostsFunc(fn)
 			if hosts && p.Role == profiler.RoleTraining {
 				continue
 			}
-			score := s.opts.Alpha * (1 - newReq/1.0)
+			score := s.opts.Alpha * (1 - newReq/g.Capacity)
 			if !s.opts.DisableComplementary {
 				score += s.opts.Beta * (1 - newMem/g.MemCapMB)
 			}
@@ -466,9 +535,18 @@ func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
 	return best
 }
 
-// freshGPU starts a new GPU instance (line 16): the first inactive GPU,
-// served by the cluster's free index instead of an inventory scan.
-func (s *Dilu) freshGPU() *cluster.GPU { return s.clu.FirstInactive() }
+// freshGPU starts a new GPU instance (line 16): the first inactive GPU
+// whose class can host the profile (Capacity ≥ max(req/Ω, lim/γ) and
+// the memory fits), served by the cluster's free index instead of an
+// inventory scan. On a homogeneous fleet every fresh GPU fits, so the
+// result is exactly the old FirstInactive.
+func (s *Dilu) freshGPU(p profiler.Profile) *cluster.GPU {
+	minCap := p.SMReq / s.opts.Omega
+	if lc := p.SMLim / s.opts.Gamma; lc > minCap {
+		minCap = lc
+	}
+	return s.clu.FirstInactiveFit(minCap, p.MemMB)
+}
 
 // ---------------------------------------------------------------------------
 // Baselines.
@@ -504,7 +582,9 @@ func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
 		s.seq++
 		d := Decision{Instance: instanceID(req.Func, s.seq), Func: req.Func}
 		for i := 0; i < stages; i++ {
-			g := s.clu.FirstInactive()
+			// Any capacity class serves an exclusive reservation; the
+			// class's memory must still fit the (per-stage) model.
+			g := s.clu.FirstInactiveFit(0, req.Profile.MemMB/float64(stages))
 			if g == nil {
 				d.Release()
 				for _, prev := range out {
@@ -514,7 +594,10 @@ func (s *Exclusive) Schedule(req Request) ([]Decision, error) {
 			}
 			pl := &cluster.Placement{
 				Instance: stageID(d.Instance, i), Func: req.Func,
-				Req: 1, Lim: 1, MemMB: req.Profile.MemMB / float64(stages),
+				// The whole device is reserved: on a fractional-capacity
+				// GPU that is Capacity, not 1.0, so normalized
+				// utilization reads exactly 1.
+				Req: g.Capacity, Lim: g.Capacity, MemMB: req.Profile.MemMB / float64(stages),
 				TrueReq: req.Profile.SMReq / float64(stages),
 			}
 			if err := g.Place(pl); err != nil {
@@ -641,11 +724,15 @@ func (s *Static) Schedule(req Request) ([]Decision, error) {
 // bucket — so scanning exactly one bucket below the first hit covers
 // every possible tie. (The differential replay in
 // experiments/sched_equiv_test.go caught this on the §5.5 mix.)
+// MPS thread percentages cannot exceed the device, so feasibility is
+// ΣReq + q ≤ Capacity per GPU and the free share is 1 − util. On a
+// homogeneous fleet Capacity is 1.0 and util ≡ ΣReq bit-for-bit, so
+// selection is unchanged from the pre-capacity code.
 func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 	if wholeGPU {
-		return s.clu.FirstInactive()
+		return s.clu.FirstInactiveFit(q, memMB)
 	}
-	headroom := 1 + 1e-9 - q
+	headroom := 1 + 1e-9 - q/s.clu.MaxCapacity()
 	if headroom >= 0 {
 		var best *cluster.GPU
 		bestFree := 2.0
@@ -656,10 +743,13 @@ func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 				break
 			}
 			for _, g := range s.clu.OccupancyBucket(b) {
-				if g.SumReq+q > 1+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+				if !g.Schedulable() {
 					continue
 				}
-				free := 1 - g.SumReq
+				if g.SumReq+q > g.Capacity+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+					continue
+				}
+				free := 1 - g.Util()
 				if free < bestFree || (free == bestFree && g.Pos() < bestPos) {
 					bestFree, bestPos, best = free, g.Pos(), g
 				}
@@ -672,5 +762,5 @@ func (s *Static) pick(q, memMB float64, wholeGPU bool) *cluster.GPU {
 			return best
 		}
 	}
-	return s.clu.FirstInactive()
+	return s.clu.FirstInactiveFit(q, memMB)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"dilu/internal/cluster"
 	"dilu/internal/core"
 	"dilu/internal/instance"
 	"dilu/internal/sim"
@@ -36,6 +37,8 @@ func Checkers() []core.Invariant {
 		NoNegativeResidents(),
 		MonotoneTime(),
 		ActiveSetConsistency(),
+		RetiredGPUQuiescence(),
+		ClassQuotaConservation(),
 	}
 }
 
@@ -140,6 +143,128 @@ func NoNegativeResidents() core.Invariant {
 			return nil
 		},
 	}
+}
+
+// RetiredGPUQuiescence verifies the churn lifecycle's placement
+// contract: a failed GPU holds no placements and no device residents
+// (FailNode evicts, the serving plane detaches), and a draining GPU's
+// placement set only ever shrinks — new work never lands on a node on
+// its way out. Drain-set watermarks live in the closure: one instance
+// per system.
+func RetiredGPUQuiescence() core.Invariant {
+	draining := map[string]map[string]bool{} // gpu ID → instance IDs seen at drain time
+	return core.Invariant{
+		Name: "retired-gpu-quiescence",
+		Check: func(sys *core.System, now sim.Time) error {
+			for _, g := range sys.Clu.GPUs() {
+				switch g.Health() {
+				case cluster.Failed:
+					delete(draining, g.ID)
+					if len(g.Placements) > 0 {
+						return fmt.Errorf("%s: failed GPU still holds %d placements", g.ID, len(g.Placements))
+					}
+					if g.Dev != nil && g.Dev.ResidentCount() > 0 {
+						return fmt.Errorf("%s: failed GPU still executes %d residents", g.ID, g.Dev.ResidentCount())
+					}
+				case cluster.Draining:
+					seen, ok := draining[g.ID]
+					if !ok {
+						// First observation since the drain began: the
+						// placements present now are the grandfathered set.
+						seen = make(map[string]bool, len(g.Placements))
+						for _, p := range g.Placements {
+							seen[p.Instance] = true
+						}
+						draining[g.ID] = seen
+						continue
+					}
+					for _, p := range g.Placements {
+						if !seen[p.Instance] {
+							return fmt.Errorf("%s: draining GPU gained placement %s", g.ID, p.Instance)
+						}
+					}
+				default:
+					delete(draining, g.ID)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ClassQuotaConservation verifies the heterogeneity bookkeeping per
+// capacity class: class membership covers the whole inventory and stays
+// constant (fail/drain/join must not migrate GPUs between classes), the
+// per-class ΣReq aggregates equal a recomputation from placements, and
+// the capacity-weighted occupancy the cost accounting integrates equals
+// the sum over active GPUs.
+func ClassQuotaConservation() core.Invariant {
+	var wantTotals []int // per-class GPU counts at first observation
+	return core.Invariant{
+		Name: "class-quota-conservation",
+		Check: func(sys *core.System, now sim.Time) error {
+			stats := sys.Clu.ClassStats()
+			if wantTotals == nil {
+				for _, st := range stats {
+					wantTotals = append(wantTotals, st.Total)
+				}
+			}
+			if len(stats) != len(wantTotals) {
+				return fmt.Errorf("class count changed: %d, want %d", len(stats), len(wantTotals))
+			}
+			total := 0
+			for i, st := range stats {
+				if st.Total != wantTotals[i] {
+					return fmt.Errorf("class %s: membership drifted: %d GPUs, want %d", st.Name, st.Total, wantTotals[i])
+				}
+				if st.Capacity <= 0 {
+					return fmt.Errorf("class %s: non-positive capacity %v", st.Name, st.Capacity)
+				}
+				total += st.Total
+			}
+			if total != len(sys.Clu.GPUs()) {
+				return fmt.Errorf("classes cover %d GPUs, inventory has %d", total, len(sys.Clu.GPUs()))
+			}
+			sumReq := make([]float64, len(stats))
+			occupied := make([]int, len(stats))
+			var occCap float64
+			for _, g := range sys.Clu.GPUs() {
+				idx := classIndexOf(stats, g)
+				if idx < 0 {
+					return fmt.Errorf("%s: class %q unknown to ClassStats", g.ID, g.Class)
+				}
+				for _, p := range g.Placements {
+					sumReq[idx] += p.Req
+				}
+				if g.Active() {
+					occupied[idx]++
+					occCap += g.Capacity
+				}
+			}
+			for i, st := range stats {
+				if math.Abs(sumReq[i]-st.SumReq) > quotaEps {
+					return fmt.Errorf("class %s: ΣReq drifted: index %.9f, ground truth %.9f", st.Name, st.SumReq, sumReq[i])
+				}
+				if occupied[i] != st.Occupied {
+					return fmt.Errorf("class %s: occupancy drifted: index %d, ground truth %d", st.Name, st.Occupied, occupied[i])
+				}
+			}
+			if math.Abs(occCap-sys.Clu.OccupiedCapacity()) > quotaEps {
+				return fmt.Errorf("capacity-weighted occupancy drifted: index %.9f, ground truth %.9f",
+					sys.Clu.OccupiedCapacity(), occCap)
+			}
+			return nil
+		},
+	}
+}
+
+func classIndexOf(stats []cluster.ClassStat, g *cluster.GPU) int {
+	for i, st := range stats {
+		if st.Name == g.Class {
+			return i
+		}
+	}
+	return -1
 }
 
 // MonotoneTime verifies the virtual clock never runs backwards across

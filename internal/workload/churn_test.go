@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dilu/internal/sim"
+)
+
+func TestFailureWaveDeterministicAndPaired(t *testing.T) {
+	gen := func() []ChurnEvent {
+		return FailureWave(sim.NewRNG(7), 10, 100*sim.Second, 20*sim.Second, 60*sim.Second, 3)
+	}
+	a, b := gen(), gen()
+	if len(a) != 6 {
+		t.Fatalf("events = %d, want 3 fail + 3 join", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wave not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+	// Every failed node joins back exactly once, repair after its fail.
+	fails := map[int]sim.Time{}
+	for _, ev := range a {
+		switch ev.Kind {
+		case ChurnFail:
+			fails[ev.Node] = ev.At
+		case ChurnJoin:
+			at, ok := fails[ev.Node]
+			if !ok {
+				t.Fatalf("join of never-failed node %d", ev.Node)
+			}
+			if ev.At != at+60*sim.Second {
+				t.Fatalf("node %d repairs at %v, want fail+60s", ev.Node, ev.At)
+			}
+		}
+	}
+	if len(fails) != 3 {
+		t.Fatalf("%d distinct nodes failed, want 3", len(fails))
+	}
+}
+
+func TestFailureWaveCountClamped(t *testing.T) {
+	evs := FailureWave(sim.NewRNG(1), 2, 0, sim.Second, sim.Second, 10)
+	if len(evs) != 4 {
+		t.Fatalf("count must clamp to node count: got %d events", len(evs))
+	}
+}
+
+func TestRollingDrainNonOverlapping(t *testing.T) {
+	evs := RollingDrain(0, 3, 10*sim.Second, 8*sim.Second)
+	if len(evs) != 6 {
+		t.Fatalf("events = %d, want 6", len(evs))
+	}
+	// At most one node out at a time: each join precedes the next drain.
+	for i := 0; i+2 < len(evs); i += 2 {
+		drain, join, next := evs[i], evs[i+1], evs[i+2]
+		if drain.Kind != ChurnDrain || join.Kind != ChurnJoin || join.Node != drain.Node {
+			t.Fatalf("sweep order broken at %d: %+v %+v", i, drain, join)
+		}
+		if next.At <= join.At {
+			t.Fatalf("node %d drains before node %d rejoined", next.Node, join.Node)
+		}
+	}
+}
+
+func TestParseChurnCSV(t *testing.T) {
+	in := `# upgrade schedule
+seconds,action,node
+30,drain,2
+10,fail,0
+40.5,JOIN,0
+`
+	evs, err := ParseChurnCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChurnEvent{
+		{At: 10 * sim.Second, Kind: ChurnFail, Node: 0},
+		{At: 30 * sim.Second, Kind: ChurnDrain, Node: 2},
+		{At: sim.FromSeconds(40.5), Kind: ChurnJoin, Node: 0},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestParseChurnCSVRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"10,reboot,0\n",          // unknown action
+		"10,fail\n",              // missing node
+		"-5,fail,0\n",            // negative time
+		"10,fail,-1\n",           // negative node
+		"x,fail,0\ny,fail,1\n",   // non-numeric time past the header line
+		"1o0,fail,3\n",           // digit-bearing typo is never a header
+		"5,fail,0\nbad,fail,1\n", // malformed mid-file line must error, not vanish
+	} {
+		if _, err := ParseChurnCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
