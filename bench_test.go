@@ -8,10 +8,12 @@ package dilu
 import (
 	"testing"
 
+	"dilu/internal/core"
 	"dilu/internal/experiments"
 	"dilu/internal/harness"
 	"dilu/internal/model"
 	"dilu/internal/profiler"
+	"dilu/internal/sim"
 )
 
 // benchOpts keeps benchmark iterations short while preserving every
@@ -187,6 +189,33 @@ func BenchmarkChurnRecovery(b *testing.B) { runExperiment(b, "churn_recovery") }
 // BenchmarkRollingDrain runs the zero-downtime upgrade sweep
 // (make-before-break migration off draining nodes).
 func BenchmarkRollingDrain(b *testing.B) { runExperiment(b, "rolling_drain") }
+
+// BenchmarkGatewaySubmit measures the gateway hot path — tenant ledger
+// update, admission decision, dispatch into the serving plane — for
+// submits that an always-full token bucket admits, on a warm function
+// with a fixed two-instance pool. Each op is a batch of 10k submits so
+// the single-iteration bench-gate run measures above the timer noise
+// floor; divide ns/op by submitsPerOp for the per-submit cost.
+func BenchmarkGatewaySubmit(b *testing.B) {
+	const submitsPerOp = 10_000
+	sys := core.MustSystem(core.Config{
+		Nodes: 1, GPUsPerNode: 4, Seed: 1,
+		Admission: core.NewTokenBucket(1e12, 1e12),
+	})
+	if _, err := sys.DeployInference("gw", "ResNet152", core.InferOpts{Instances: 2, NoScaler: true, Tenant: "bench"}); err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(sim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sys.Eng.Now()
+		for j := 0; j < submitsPerOp; j++ {
+			if !sys.Submit(now, core.Request{Func: "gw", Tenant: "bench"}) {
+				b.Fatal("bench bucket shed a request")
+			}
+		}
+	}
+}
 
 // benchSuite drains the quick-tier drivers through the harness worker
 // pool at the given parallelism; comparing the serial and all-core

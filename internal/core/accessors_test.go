@@ -51,12 +51,12 @@ func TestFlushPendingOnActivation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Deactivate the only instance to emulate an all-cold state, then
-	// inject traffic.
+	// submit traffic through the gateway.
 	si := f.active[0]
 	si.inst.SetActive(false)
 	for i := 0; i < 5; i++ {
 		at := sim.Time(i+1) * 50 * sim.Millisecond
-		sys.Eng.Schedule(at, func(now sim.Time) { f.Inject(now) })
+		sys.Eng.Schedule(at, func(now sim.Time) { sys.Submit(now, Request{Func: "f"}) })
 	}
 	sys.Run(500 * sim.Millisecond)
 	if f.Served() != 0 {

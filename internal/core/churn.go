@@ -127,8 +127,12 @@ func nodeAt(sys *System, idx int) *cluster.Node {
 
 // sweepWarmRetired tears down keep-alive entries parked on retired GPUs
 // before any relaunch can reuse them (a failed GPU's reservations are
-// already gone; a draining one must empty out).
+// already gone; a draining one must empty out). A swept instance may
+// still be finishing the batch it carried into keep-alive; that work is
+// aborted and handed back to the gateway like any other eviction —
+// request conservation holds across churn.
 func (f *Function) sweepWarmRetired() {
+	now := f.sys.Eng.Now()
 	for i := len(f.warm) - 1; i >= 0; i-- {
 		w := f.warm[i]
 		if w.dead || w.reused || !w.si.dec.OnRetiredGPU() {
@@ -136,7 +140,9 @@ func (f *Function) sweepWarmRetired() {
 		}
 		w.dead = true
 		f.warm = append(f.warm[:i], f.warm[i+1:]...)
+		reqs := w.si.inst.Abort()
 		f.teardown(w.si)
+		f.redispatch(reqs, now)
 	}
 }
 

@@ -177,7 +177,7 @@ func TestDelayedTrainingSubmission(t *testing.T) {
 	}
 }
 
-func TestFunctionInjectManual(t *testing.T) {
+func TestFunctionSubmitManual(t *testing.T) {
 	sys := MustSystem(Config{Nodes: 1, GPUsPerNode: 1})
 	f, err := sys.DeployInference("manual", "BERT-base", InferOpts{})
 	if err != nil {
@@ -185,11 +185,14 @@ func TestFunctionInjectManual(t *testing.T) {
 	}
 	for i := 0; i < 10; i++ {
 		at := sim.Time(i+1) * 100 * sim.Millisecond
-		sys.Eng.Schedule(at, func(now sim.Time) { f.Inject(now) })
+		sys.Eng.Schedule(at, func(now sim.Time) { sys.Submit(now, Request{Func: "manual"}) })
 	}
 	sys.Run(5 * sim.Second)
 	if f.Served() != 10 {
-		t.Fatalf("served %d / 10 injected", f.Served())
+		t.Fatalf("served %d / 10 submitted", f.Served())
+	}
+	if sub, adm, shed := f.GatewayCounts(); sub != 10 || adm != 10 || shed != 0 {
+		t.Fatalf("gateway counts = %d/%d/%d, want 10/10/0", sub, adm, shed)
 	}
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"dilu/internal/cluster"
 	"dilu/internal/instance"
@@ -22,7 +24,7 @@ type InferOpts struct {
 	// (generative models default to their pipeline depth when 0).
 	Stages int
 	// Arrivals drives the function's request workload; nil means requests
-	// are injected manually via Function.Inject.
+	// are submitted manually via System.Submit.
 	Arrivals workload.Arrivals
 	// Profile overrides Dilu profiling when non-nil (used by ablations
 	// and calibration experiments).
@@ -38,6 +40,17 @@ type InferOpts struct {
 	// (per-function targets for SLO-pressure scenarios); zero keeps the
 	// model default.
 	SLO sim.Duration
+	// Tenant is the deployment's tenant identity: requests submitted
+	// without an explicit tenant are accounted against it, and it labels
+	// the function's row in the per-tenant SLO roll-up. Empty is the
+	// default tenant (single-tenant runs keep their pre-tenant output).
+	Tenant string
+	// Priority and Deadline seed the requests the deployment's Arrivals
+	// series submits: Priority orders the gateway's pending queue (higher
+	// first), Deadline is each request's completion budget relative to
+	// submission (deadline-aware admission and pending-queue ordering).
+	Priority int
+	Deadline sim.Duration
 }
 
 // servedInstance couples a running inference instance with its
@@ -88,8 +101,56 @@ type Function struct {
 	pending []instance.Request
 	arrived int // arrivals in the current 1 s sample window
 
+	// Gateway ledger (see gateway.go): submitted = admitted + shed, and
+	// admitted = served + in-flight + lost. The simtest
+	// request-conservation invariant recounts these from the serving
+	// plane every tick. lost counts admitted requests destroyed with
+	// their instance on the no-keep-alive scale-in path (the one teardown
+	// that drops work rather than redispatching it — see scaleIn).
+	tenant    string
+	submitted int64
+	admitted  int64
+	shed      int64
+	lost      int64
+
 	pinned []int
 	seq    int
+}
+
+// Tenant returns the function's deployment tenant ("" = default).
+func (f *Function) Tenant() string { return f.tenant }
+
+// GatewayCounts returns the function's admission ledger.
+func (f *Function) GatewayCounts() (submitted, admitted, shed int64) {
+	return f.submitted, f.admitted, f.shed
+}
+
+// Lost returns admitted requests destroyed with their instance (the
+// no-keep-alive scale-in teardown) — the only way an admitted request
+// leaves the system unserved.
+func (f *Function) Lost() int64 { return f.lost }
+
+// InFlightCount is the ledger view of the function's in-system requests:
+// admitted but neither served nor lost. Fair-share admission treats it
+// as the tenant's dominant-resource demand.
+func (f *Function) InFlightCount() int64 { return f.admitted - f.Served() - f.lost }
+
+// RecountInFlight recounts in-flight requests from first principles —
+// gateway pending plus every instance's queued and batched work,
+// including keep-alive entries whose expiry fired but whose teardown
+// kept the entry in the list. The conservation invariant compares this
+// against InFlightCount every tick.
+func (f *Function) RecountInFlight() int64 {
+	n := int64(len(f.pending))
+	for _, si := range f.active {
+		n += int64(si.inst.Load())
+	}
+	for _, w := range f.warm {
+		if !w.reused {
+			n += int64(w.si.inst.Load())
+		}
+	}
+	return n
 }
 
 // DeployInference profiles (unless overridden), places and pre-warms an
@@ -119,6 +180,10 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 		RPSTrace:  metrics.NewSeries(name + "/rps"),
 		InstTrace: metrics.NewSeries(name + "/instances"),
 		pinned:    opts.Pin,
+		tenant:    opts.Tenant,
+	}
+	if f.tenant != "" {
+		f.Rec.SetTenant(f.tenant)
 	}
 	if sys.cfg.NewScaler != nil && !opts.NoScaler {
 		f.policy = sys.cfg.NewScaler()
@@ -135,14 +200,25 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 	if opts.Arrivals != nil {
 		// Arrival times are relative to the deployment moment: a
 		// function deployed mid-run starts its trace fresh. One shared
-		// callback serves every arrival — the injection time arrives as
+		// callback serves every arrival — the submission time arrives as
 		// the event's `now` — so an N-request trace costs N heap slots,
-		// not N closures.
+		// not N closures. Arrivals enter through the gateway like any
+		// Submit, with the deployment's tenant/priority/deadline stamped
+		// on every request.
 		base := sys.Eng.Now()
 		arr := opts.Arrivals.Generate(sys.rng.Fork(int64(len(sys.funcs)+1)), sys.remainingHorizonHint())
-		sys.Eng.ScheduleSeries(base, arr, func(now sim.Time) { f.Inject(now) })
+		tmpl := Request{Func: name, Tenant: opts.Tenant, Priority: opts.Priority, Deadline: opts.Deadline}
+		sys.Eng.ScheduleSeries(base, arr, func(now sim.Time) { sys.submit(f, now, tmpl) })
 	}
 	sys.funcs = append(sys.funcs, f)
+	// Last deployment wins the name (redeploy semantics); Submit resolves
+	// through this index, and the tenant index feeds fair-share admission
+	// and the per-tenant SLO roll-up.
+	sys.funcByName[name] = f
+	if _, ok := sys.tenantFuncs[f.tenant]; !ok {
+		sys.tenantOrder = append(sys.tenantOrder, f.tenant)
+	}
+	sys.tenantFuncs[f.tenant] = append(sys.tenantFuncs[f.tenant], f)
 	return f, nil
 }
 
@@ -150,10 +226,18 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 // most a few simulated hours.
 func (sys *System) remainingHorizonHint() sim.Duration { return 4 * sim.Hour }
 
-// Inject delivers one request to the function at the current time.
-func (f *Function) Inject(now sim.Time) {
+// inject delivers one admitted request into the serving plane. It is
+// the gateway's dispatch step — System.Submit is the public entry
+// point; nothing reaches an instance without passing admission.
+func (f *Function) inject(now sim.Time, greq Request) {
 	f.arrived++
-	req := instance.Request{ID: f.sys.nextReqID(), Arrive: now}
+	req := instance.Request{
+		ID: f.sys.nextReqID(), Arrive: now,
+		Tenant: greq.Tenant, Priority: greq.Priority,
+	}
+	if greq.Deadline > 0 {
+		req.Deadline = now + greq.Deadline
+	}
 	if in := f.pickLeastLoaded(); in != nil {
 		req.Dispatch = now
 		f.enqueue(in, req)
@@ -188,20 +272,49 @@ func (f *Function) pickLeastLoaded() *instance.Inference {
 	return best
 }
 
-// flushPending hands queued gateway requests to newly active instances.
+// orderPending sorts the gateway's pending queue for draining: higher
+// priority first, then earlier absolute deadline (no deadline last),
+// and — the sort being stable — FIFO within ties. A queue of default
+// requests (priority 0, no deadline) therefore drains in exactly the
+// pre-gateway FIFO order.
+func (f *Function) orderPending() {
+	slices.SortStableFunc(f.pending, func(a, b instance.Request) int {
+		if c := cmp.Compare(b.Priority, a.Priority); c != 0 {
+			return c
+		}
+		da, db := a.Deadline, b.Deadline
+		if da <= 0 {
+			da = sim.Time(1<<63 - 1)
+		}
+		if db <= 0 {
+			db = sim.Time(1<<63 - 1)
+		}
+		return cmp.Compare(da, db)
+	})
+}
+
+// flushPending hands queued gateway requests to active instances in
+// priority/deadline order (FIFO-stable within ties), keeping whatever
+// cannot be placed queued for the next activation.
 func (f *Function) flushPending(now sim.Time) {
 	if len(f.pending) == 0 {
 		return
 	}
+	f.orderPending()
+	drained := 0
 	for _, req := range f.pending {
 		in := f.pickLeastLoaded()
 		if in == nil {
-			return
+			break
 		}
 		req.Dispatch = now
 		f.enqueue(in, req)
+		drained++
 	}
-	f.pending = f.pending[:0]
+	if drained == 0 {
+		return
+	}
+	f.pending = append(f.pending[:0], f.pending[drained:]...)
 }
 
 // InstancesActive returns the number of serving (or cold-starting)
@@ -340,6 +453,12 @@ func (f *Function) scaleIn(now sim.Time) {
 		ttl = f.policy.KeepAliveTTL()
 	}
 	if ttl <= 0 {
+		// The instance dies with whatever batch it was executing: those
+		// requests are destroyed, not redispatched (retrying work whose
+		// results are half-computed is the caller's policy, and no
+		// pre-gateway driver did). The ledger records them so request
+		// conservation still balances: admitted = served + in-flight + lost.
+		f.lost += int64(si.inst.Load())
 		f.teardown(si)
 		return
 	}

@@ -43,6 +43,11 @@ type Config struct {
 	// NewScaler builds a fresh horizontal-scaling policy per inference
 	// function; nil disables horizontal scaling.
 	NewScaler func() scaler.Policy
+	// Admission is the gateway's admission policy; nil is the admit-all
+	// pass-through (every submitted request is injected unconditionally,
+	// the pre-gateway behaviour). Policies hold per-run state — build a
+	// fresh value per System.
+	Admission AdmissionPolicy
 	// Seed drives all randomness.
 	Seed int64
 	// Meter, when non-nil, observes the engine's virtual-time progress
@@ -85,8 +90,16 @@ type System struct {
 	managers  []*rckm.Manager // parallel to Clu.GPUs()
 	mgrByGPU  map[*cluster.GPU]*rckm.Manager
 
-	funcs []*Function
-	jobs  []*TrainingJob
+	funcs      []*Function
+	jobs       []*TrainingJob
+	funcByName map[string]*Function
+
+	// gw is the admission gateway (System.Submit); tenantFuncs and
+	// tenantOrder index deployed functions by their deployment tenant
+	// for fair-share admission and per-tenant SLO roll-ups.
+	gw          gateway
+	tenantFuncs map[string][]*Function
+	tenantOrder []string
 
 	// Active sets. The tick loop iterates exactly the entities whose
 	// per-tick work is non-trivial, instead of scanning the whole world:
@@ -132,15 +145,18 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	clu := cluster.New(cluster.Config{Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode, WithDevices: true, Classes: cfg.Classes})
 	sys := &System{
-		cfg:        cfg,
-		Eng:        sim.NewEngine(),
-		Clu:        clu,
-		rng:        sim.NewRNG(cfg.Seed),
-		mgrByGPU:   make(map[*cluster.GPU]*rckm.Manager),
-		instActive: make(map[instance.Ticker]bool),
-		mgrActive:  make(map[*rckm.Manager]bool),
-		devActive:  make(map[*gpu.Device]bool),
-		GPUSeries:  metrics.NewSeries("occupied-gpus"),
+		cfg:         cfg,
+		Eng:         sim.NewEngine(),
+		Clu:         clu,
+		rng:         sim.NewRNG(cfg.Seed),
+		mgrByGPU:    make(map[*cluster.GPU]*rckm.Manager),
+		instActive:  make(map[instance.Ticker]bool),
+		mgrActive:   make(map[*rckm.Manager]bool),
+		devActive:   make(map[*gpu.Device]bool),
+		funcByName:  make(map[string]*Function),
+		tenantFuncs: make(map[string][]*Function),
+		gw:          gateway{policy: cfg.Admission, stats: make(map[string]*TenantStats), report: cfg.Admission != nil},
+		GPUSeries:   metrics.NewSeries("occupied-gpus"),
 	}
 	if cfg.Meter != nil {
 		sys.Eng.SetMeter(cfg.Meter)
@@ -324,7 +340,9 @@ func (sys *System) SLOSummary() *metrics.SLOSummary {
 	for i, f := range sys.funcs {
 		recs[i] = f.Rec
 	}
-	return metrics.SummarizeSLO(sys.Eng.Now(), recs...)
+	sum := metrics.SummarizeSLO(sys.Eng.Now(), recs...)
+	sum.Gateway = sys.gatewaySLO(sys.Eng.Now())
+	return sum
 }
 
 func (sys *System) nextReqID() int64 {

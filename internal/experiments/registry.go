@@ -66,6 +66,8 @@ func All() []Driver {
 		{"hetero_mix", "Heterogeneous 70/30 fleet placement comparison (extra)", TierStandard, HeteroMix},
 		{"churn_recovery", "SLO attainment through a node-failure wave (extra)", TierStandard, ChurnRecovery},
 		{"rolling_drain", "Zero-downtime rolling drain sweep (extra)", TierStandard, RollingDrain},
+		{"overload_shed", "Admission policy vs SLO goodput at 2× capacity (extra)", TierQuick, OverloadShed},
+		{"tenant_fairness", "DRF fair-share admission under a tenant flood (extra)", TierQuick, TenantFairness},
 	}
 }
 

@@ -201,7 +201,7 @@ func TenantMixStudy(opts Options) *report.Report {
 	weights := rep.AddTable(report.NewTable(
 		"Tenant popularity (Zipf skew 1.1)", "tenant", "weight", "arrivals"))
 	for _, ta := range tenants {
-		weights.AddRow(ta.Name, ta.Weight, float64(len(ta.Times)))
+		weights.AddRow(ta.Tenant, ta.Weight, float64(len(ta.Times)))
 	}
 
 	perFunc := rep.AddTable(newSLOFuncTable("Tenant mix: per-tenant SLO accounting"))
@@ -209,9 +209,13 @@ func TenantMixStudy(opts Options) *report.Report {
 	for _, label := range sloSystems {
 		sys := mustClusterSystem(label, 2, 4, opts)
 		for i, ta := range tenants {
-			if _, err := sys.DeployInference(ta.Name, traceModelFallback[i%len(traceModelFallback)], core.InferOpts{
+			// The structured tenant ID is the function name here (the
+			// pre-gateway encoding, byte-identical output); the
+			// tenant_fairness driver is the one that also sets
+			// InferOpts.Tenant and exercises per-tenant admission.
+			if _, err := sys.DeployInference(ta.Tenant, traceModelFallback[i%len(traceModelFallback)], core.InferOpts{
 				Instances: 1,
-				Arrivals:  workload.Times{Label: ta.Name, T: ta.Times},
+				Arrivals:  workload.Times{Label: ta.Tenant, T: ta.Times},
 			}); err != nil {
 				panic(err)
 			}

@@ -27,6 +27,15 @@ type Request struct {
 	ID       int64
 	Arrive   sim.Time // gateway arrival
 	Dispatch sim.Time // set when handed to an instance
+
+	// Gateway metadata (see core.Request). Tenant is the accounting
+	// identity; Priority and Deadline (absolute completion target, zero =
+	// none) order the gateway's pending queue and feed deadline-aware
+	// admission. The serving plane carries them but executes batches
+	// identically for all values.
+	Tenant   string
+	Priority int
+	Deadline sim.Time
 }
 
 // Stage couples one GPU execution context with its RCKM client. Single-

@@ -18,6 +18,7 @@ import (
 // SLO layer (see slo.go).
 type LatencyRecorder struct {
 	name    string
+	tenant  string
 	slo     sim.Duration
 	samples []sim.Duration
 	// sorted is the dirty flag of the percentile path: it is cleared on
@@ -43,6 +44,13 @@ func NewLatencyRecorder(name string, slo sim.Duration) *LatencyRecorder {
 
 // Name returns the function name this recorder belongs to.
 func (r *LatencyRecorder) Name() string { return r.name }
+
+// SetTenant labels the recorder with the function's deployment tenant;
+// the SLO summary carries it into the per-function stats row.
+func (r *LatencyRecorder) SetTenant(tenant string) { r.tenant = tenant }
+
+// Tenant returns the deployment tenant label ("" = default tenant).
+func (r *LatencyRecorder) Tenant() string { return r.tenant }
 
 // SLO returns the recorder's SLO target.
 func (r *LatencyRecorder) SLO() sim.Duration { return r.slo }

@@ -14,7 +14,10 @@ import (
 
 // SLOFuncStats is the per-function SLO accounting of one run.
 type SLOFuncStats struct {
-	Func      string  `json:"func"`
+	Func string `json:"func"`
+	// Tenant is the function's deployment tenant; omitted for the default
+	// tenant so single-tenant manifests keep their pre-tenant bytes.
+	Tenant    string  `json:"tenant,omitempty"`
 	SLOMillis float64 `json:"slo_ms"`
 	Requests  int64   `json:"requests"`
 	// Violations counts requests over the SLO; ColdStartViolations is
@@ -39,9 +42,44 @@ func (s SLOFuncStats) ViolationRate() float64 {
 	return float64(s.Violations) / float64(s.Requests)
 }
 
+// TenantSLOStats is one tenant's row in the gateway admission roll-up.
+type TenantSLOStats struct {
+	Tenant    string `json:"tenant"`
+	Submitted int64  `json:"submitted"`
+	Admitted  int64  `json:"admitted"`
+	Shed      int64  `json:"shed"`
+	Served    int64  `json:"served"`
+	// GoodputRPS is the tenant's SLO-met request rate over the horizon.
+	GoodputRPS float64 `json:"goodput_rps"`
+}
+
+// GatewaySLO is the admission-layer block of a run summary: how many
+// requests the gateway saw, admitted, and shed — in aggregate and per
+// tenant. Present only for multi-tenant runs or runs with an admission
+// policy; pre-gateway manifests keep their bytes.
+type GatewaySLO struct {
+	Policy    string           `json:"policy,omitempty"`
+	Submitted int64            `json:"submitted"`
+	Admitted  int64            `json:"admitted"`
+	Shed      int64            `json:"shed"`
+	Tenants   []TenantSLOStats `json:"tenants,omitempty"`
+}
+
+// ShedRate returns the fraction of submitted requests shed, in [0,1].
+func (g *GatewaySLO) ShedRate() float64 {
+	if g.Submitted == 0 {
+		return 0
+	}
+	return float64(g.Shed) / float64(g.Submitted)
+}
+
 // SLOSummary rolls per-function SLO accounting up to one run.
 type SLOSummary struct {
 	Funcs []SLOFuncStats `json:"funcs,omitempty"`
+
+	// Gateway is the admission roll-up; nil for single-tenant runs with
+	// the admit-all policy (the pre-gateway configuration).
+	Gateway *GatewaySLO `json:"gateway,omitempty"`
 
 	Requests            int64 `json:"requests"`
 	Violations          int64 `json:"violations"`
@@ -91,6 +129,7 @@ func SummarizeSLO(horizon sim.Duration, recs ...*LatencyRecorder) *SLOSummary {
 		slo := r.SLO()
 		st := SLOFuncStats{
 			Func:                r.Name(),
+			Tenant:              r.Tenant(),
 			SLOMillis:           slo.Millis(),
 			Requests:            int64(r.Count()),
 			Violations:          int64(r.Violations()),

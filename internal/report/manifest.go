@@ -73,6 +73,11 @@ type SLOBlock struct {
 	GoodputRPS          float64 `json:"goodput_rps"`
 	P95Attainment       float64 `json:"p95_attainment"`
 	P99Attainment       float64 `json:"p99_attainment"`
+
+	// Gateway is the admission-layer roll-up (per-tenant admitted/shed
+	// and goodput); omitted for single-tenant admit-all runs so
+	// pre-gateway manifests keep their bytes.
+	Gateway *metrics.GatewaySLO `json:"gateway,omitempty"`
 }
 
 // SLOBlockOf compresses a summary into the manifest block; nil in, nil out.
@@ -87,6 +92,7 @@ func SLOBlockOf(s *metrics.SLOSummary) *SLOBlock {
 		GoodputRPS:          s.GoodputRPS,
 		P95Attainment:       s.P95Attainment,
 		P99Attainment:       s.P99Attainment,
+		Gateway:             s.Gateway,
 	}
 }
 

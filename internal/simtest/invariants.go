@@ -39,6 +39,65 @@ func Checkers() []core.Invariant {
 		ActiveSetConsistency(),
 		RetiredGPUQuiescence(),
 		ClassQuotaConservation(),
+		RequestConservation(),
+	}
+}
+
+// RequestConservation verifies the gateway's admission ledger against
+// the serving plane, per function and per tenant:
+//
+//   - submitted = admitted + shed (the gateway never loses a decision);
+//   - admitted = served + in-flight + lost, where in-flight is recounted
+//     from first principles — gateway pending plus every instance's
+//     queued and batched requests, including keep-alive entries — and
+//     lost is the explicit ledger of batches destroyed by no-keep-alive
+//     scale-in; an eviction or sweep that dropped requests without
+//     either redispatching or recording them is caught the tick it
+//     happens;
+//   - the tenant ledgers' totals equal the function ledgers' totals (a
+//     request is accounted against exactly one tenant and one function,
+//     even when its request-level tenant differs from the function's
+//     deployment tenant).
+func RequestConservation() core.Invariant {
+	return core.Invariant{
+		Name: "request-conservation",
+		Check: func(sys *core.System, now sim.Time) error {
+			var fSub, fAdm, fShed int64
+			for _, f := range sys.Functions() {
+				sub, adm, shed := f.GatewayCounts()
+				if sub != adm+shed {
+					return fmt.Errorf("%s: gateway ledger leak: submitted %d ≠ admitted %d + shed %d",
+						f.Name, sub, adm, shed)
+				}
+				inflight := f.InFlightCount()
+				if inflight < 0 {
+					return fmt.Errorf("%s: negative in-flight ledger: admitted %d < served %d + lost %d",
+						f.Name, adm, f.Served(), f.Lost())
+				}
+				if recount := f.RecountInFlight(); recount != inflight {
+					return fmt.Errorf("%s: in-flight drifted: ledger %d (admitted−served), ground truth %d (pending+queued+batched)",
+						f.Name, inflight, recount)
+				}
+				fSub += sub
+				fAdm += adm
+				fShed += shed
+			}
+			var tSub, tAdm, tShed int64
+			for _, ts := range sys.GatewayTenantStats() {
+				if ts.Submitted != ts.Admitted+ts.Shed {
+					return fmt.Errorf("tenant %q: gateway ledger leak: submitted %d ≠ admitted %d + shed %d",
+						ts.Tenant, ts.Submitted, ts.Admitted, ts.Shed)
+				}
+				tSub += ts.Submitted
+				tAdm += ts.Admitted
+				tShed += ts.Shed
+			}
+			if tSub != fSub || tAdm != fAdm || tShed != fShed {
+				return fmt.Errorf("tenant/function ledgers disagree: tenants %d/%d/%d, functions %d/%d/%d (submitted/admitted/shed)",
+					tSub, tAdm, tShed, fSub, fAdm, fShed)
+			}
+			return nil
+		},
 	}
 }
 

@@ -113,6 +113,12 @@ func (p Pareto) Generate(rng *sim.RNG, dur sim.Duration) []sim.Time {
 
 // TenantArrivals is one tenant's share of a multi-tenant mix.
 type TenantArrivals struct {
+	// Tenant is the structured tenant identity, for core.InferOpts.Tenant
+	// / core.Request.Tenant — the gateway's accounting key.
+	Tenant string
+	// Name is the per-tenant function name. It equals Tenant (the
+	// pre-gateway name-mangled encoding), kept as a separate field so
+	// deployments that predate structured tenancy stay byte-identical.
 	Name   string
 	Weight float64 // popularity share in (0,1], Σ = 1
 	Times  []sim.Time
@@ -165,8 +171,10 @@ func (m TenantMix) Split(rng *sim.RNG, dur sim.Duration) []TenantArrivals {
 		} else {
 			arr = Poisson{RPS: rps}
 		}
+		id := fmt.Sprintf("tenant-%02d", i)
 		out[i] = TenantArrivals{
-			Name:   fmt.Sprintf("tenant-%02d", i),
+			Tenant: id,
+			Name:   id,
 			Weight: w,
 			Times:  arr.Generate(rng.Fork(int64(i+1)), dur),
 		}

@@ -133,6 +133,9 @@ func TestTenantMixSplitSkewed(t *testing.T) {
 		if ta.Name == "" || ta.Weight <= 0 {
 			t.Fatalf("tenant %d metadata: %+v", i, ta)
 		}
+		if ta.Tenant != ta.Name {
+			t.Fatalf("tenant %d: structured ID %q diverged from name %q", i, ta.Tenant, ta.Name)
+		}
 	}
 	// Determinism: same seed, same split.
 	again := m.Split(sim.NewRNG(7), 300*sim.Second)
