@@ -45,7 +45,7 @@ bench-quick:
 # PINNED_BENCHMARKS so the run set and the gated set cannot drift.
 # Recipes avoid `test | tee` because the default shell has no pipefail —
 # a crashing benchmark must fail the target even mid-log.
-PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit
+PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit BenchmarkGrayFailure
 empty :=
 space := $(empty) $(empty)
 PINNED_BENCH_RE = ^($(subst $(space),|,$(strip $(PINNED_BENCHMARKS))))$$
@@ -75,7 +75,7 @@ bench-hyperscale:
 		> $(BENCH_NIGHTLY_OUT) || { cat $(BENCH_NIGHTLY_OUT); exit 1; }
 	@cat $(BENCH_NIGHTLY_OUT)
 
-# Full-registry manifest determinism check: every driver (all 27, slow
+# Full-registry manifest determinism check: every driver (all 29, slow
 # tier included) runs serially and on all cores at the golden scale;
 # the two manifests must be byte-identical. This is the whole-registry
 # extension of the committed quick/trace golden tests.

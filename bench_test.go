@@ -190,6 +190,15 @@ func BenchmarkChurnRecovery(b *testing.B) { runExperiment(b, "churn_recovery") }
 // (make-before-break migration off draining nodes).
 func BenchmarkRollingDrain(b *testing.B) { runExperiment(b, "rolling_drain") }
 
+// BenchmarkGrayFailure runs the three-arm gray-failure comparison:
+// fault injection, timeout/retry/hedge resilience, and health-monitor
+// quarantine all on the hot path of the mitigated arm.
+func BenchmarkGrayFailure(b *testing.B) { runExperiment(b, "gray_failure") }
+
+// BenchmarkStragglerTail runs the hedged-dispatch tail study under a
+// pinned slow-GPU schedule.
+func BenchmarkStragglerTail(b *testing.B) { runExperiment(b, "straggler_tail") }
+
 // BenchmarkGatewaySubmit measures the gateway hot path — tenant ledger
 // update, admission decision, dispatch into the serving plane — for
 // submits that an always-full token bucket admits, on a warm function

@@ -9,6 +9,7 @@
 //	dilu-bench -tier quick                # sub-second smoke subset
 //	dilu-bench -seeds 1,2,3 figure9       # multi-seed sweep of one driver
 //	dilu-bench -trace prod.csv            # replay an external arrival trace
+//	dilu-bench -churn ops.csv -faults gray.csv  # replay a recorded incident
 //	dilu-bench -out results -manifest results/manifest.json
 //	dilu-bench -list
 //
@@ -48,6 +49,8 @@ func run() int {
 	failFast := flag.Bool("failfast", false, "stop dispatching after the first failure")
 	tier := flag.String("tier", "", "run only these cost tiers (comma-separated: quick,standard,slow)")
 	tracePath := flag.String("trace", "", "replay this arrival trace file (.csv or .json) through the trace_replay scenario instead of running registry drivers")
+	churnPath := flag.String("churn", "", "replay this churn schedule CSV (seconds,action,node) through the disturbance_replay scenario instead of running registry drivers; combinable with -faults")
+	faultsPath := flag.String("faults", "", "replay this fault schedule CSV (seconds,action,node,gpu[,factor]) through the disturbance_replay scenario instead of running registry drivers; combinable with -churn")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "report format: text, csv, json")
 	outDir := flag.String("out", "", "write per-run reports and the manifest into this directory")
@@ -94,6 +97,44 @@ func run() int {
 			Paper: fmt.Sprintf("external trace replay — %s (%d events)", *tracePath, tr.Count()),
 			Tier:  experiments.TierStandard,
 			Run:   func(o experiments.Options) *report.Report { return experiments.TraceReplayOn(o, tr) },
+		}}
+	}
+	if *churnPath != "" || *faultsPath != "" {
+		// External disturbance schedules replace the run set with one
+		// disturbance_replay scenario, mirroring -trace. The two flags
+		// compose (a real incident usually has both kinds of events) but
+		// mixing with ids, tiers, or -trace would make the manifest
+		// ambiguous about what actually ran.
+		if len(flag.Args()) > 0 || *tier != "" || *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "dilu-bench: -churn/-faults cannot be combined with experiment ids, -tier, or -trace")
+			return 2
+		}
+		var churn []workload.ChurnEvent
+		var faults []workload.FaultEvent
+		var desc []string
+		if *churnPath != "" {
+			churn, err = workload.LoadChurn(*churnPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dilu-bench: "+err.Error())
+				return 2
+			}
+			desc = append(desc, fmt.Sprintf("%s (%d churn events)", *churnPath, len(churn)))
+		}
+		if *faultsPath != "" {
+			faults, err = workload.LoadFaults(*faultsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dilu-bench: "+err.Error())
+				return 2
+			}
+			desc = append(desc, fmt.Sprintf("%s (%d fault events)", *faultsPath, len(faults)))
+		}
+		drivers = []experiments.Driver{{
+			ID:    "disturbance_replay",
+			Paper: "external disturbance replay — " + strings.Join(desc, ", "),
+			Tier:  experiments.TierStandard,
+			Run: func(o experiments.Options) *report.Report {
+				return experiments.DisturbanceReplayOn(o, churn, faults)
+			},
 		}}
 	}
 	seedList, err := parseSeeds(*seeds, *seed)

@@ -51,13 +51,18 @@ func (p *Placement) trueReq() float64 {
 // Health is a GPU's lifecycle state. Healthy GPUs accept placements;
 // Draining GPUs keep their existing placements but take no new ones
 // (rolling upgrades); Failed GPUs hold nothing — FailNode evicts their
-// placements for the caller to reschedule.
+// placements for the caller to reschedule. Quarantined GPUs are the
+// gray-failure analogue of Draining: ejected from the schedulable
+// indexes by the health monitor on observed slowdown/error outliers,
+// existing placements migrated make-before-break, readmitted when a
+// probe comes back clean.
 type Health uint8
 
 const (
 	Healthy Health = iota
 	Draining
 	Failed
+	Quarantined
 )
 
 func (h Health) String() string {
@@ -66,6 +71,8 @@ func (h Health) String() string {
 		return "draining"
 	case Failed:
 		return "failed"
+	case Quarantined:
+		return "quarantined"
 	}
 	return "healthy"
 }
@@ -634,6 +641,23 @@ func (c *Cluster) DrainNode(n *Node) {
 // re-enter the free heap and new placements are accepted again.
 func (c *Cluster) JoinNode(n *Node) {
 	for _, g := range n.GPUs {
+		c.setHealth(g, Healthy)
+	}
+}
+
+// QuarantineGPU ejects one GPU from the schedulable indexes on a
+// health-monitor verdict. Like DrainNode the existing placements stay
+// for make-before-break migration; unlike DrainNode the unit is a
+// single device — gray failures are per-GPU, not per-node.
+func (c *Cluster) QuarantineGPU(g *GPU) {
+	c.setHealth(g, Quarantined)
+}
+
+// ReadmitGPU returns a quarantined GPU to service after a clean probe.
+// It refuses to touch Draining/Failed GPUs — those belong to the churn
+// lifecycle (JoinNode), not the health monitor.
+func (c *Cluster) ReadmitGPU(g *GPU) {
+	if g.health == Quarantined {
 		c.setHealth(g, Healthy)
 	}
 }

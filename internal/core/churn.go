@@ -211,8 +211,15 @@ func (f *Function) retire(si *servedInstance, now sim.Time) {
 
 // redispatch returns aborted requests to the gateway: straight onto the
 // least-loaded serving instance, or the pending queue when none serves.
+// Under resilience, a copy whose request was already served elsewhere
+// (a hedge loser caught in the abort) is dropped instead of redelivered
+// — at-most-once service survives churn and fault interleavings.
 func (f *Function) redispatch(reqs []instance.Request, now sim.Time) {
 	for _, req := range reqs {
+		if f.res != nil && f.res.done[req.ID] {
+			f.res.dropCopy(req.ID)
+			continue
+		}
 		if in := f.pickLeastLoaded(); in != nil {
 			req.Dispatch = now
 			f.enqueue(in, req)

@@ -113,6 +113,11 @@ type Function struct {
 	shed      int64
 	lost      int64
 
+	// res is the request-resilience state (timeout/retry/hedge); nil
+	// whenever Config.Resilience is nil — every touchpoint guards on
+	// it, keeping the default path byte-identical.
+	res *resilience
+
 	pinned []int
 	seq    int
 }
@@ -150,6 +155,12 @@ func (f *Function) RecountInFlight() int64 {
 			n += int64(w.si.inst.Load())
 		}
 	}
+	if f.res != nil {
+		// Backed-off retries sit in no queue but are still in flight;
+		// hedge duplicates inflate the recount by design — the invariant
+		// compares against InFlightCount() + ExtraCopies().
+		n += f.res.parked
+	}
 	return n
 }
 
@@ -181,6 +192,9 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 		InstTrace: metrics.NewSeries(name + "/instances"),
 		pinned:    opts.Pin,
 		tenant:    opts.Tenant,
+	}
+	if sys.cfg.Resilience != nil {
+		f.res = newResilience(sys.cfg.Resilience)
 	}
 	if f.tenant != "" {
 		f.Rec.SetTenant(f.tenant)
@@ -237,6 +251,9 @@ func (f *Function) inject(now sim.Time, greq Request) {
 	}
 	if greq.Deadline > 0 {
 		req.Deadline = now + greq.Deadline
+	}
+	if f.res != nil {
+		f.armResilience(req, now)
 	}
 	if in := f.pickLeastLoaded(); in != nil {
 		req.Dispatch = now
@@ -366,6 +383,9 @@ func (f *Function) launch(cold bool) (*servedInstance, error) {
 	}
 	f.seq++
 	in := instance.NewInference(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec, f.Profile.IBS, stages, f.Rec)
+	if f.res != nil {
+		in.SetOnComplete(f.onRequestComplete)
+	}
 	si := &servedInstance{inst: in, dec: dec, stages: stages}
 	f.active = append(f.active, si)
 	if cold {
@@ -453,6 +473,17 @@ func (f *Function) scaleIn(now sim.Time) {
 		ttl = f.policy.KeepAliveTTL()
 	}
 	if ttl <= 0 {
+		if f.sys.cfg.RequeueOnTeardown || f.res != nil {
+			// Requeue-on-teardown: the dying instance's in-flight batch
+			// (the queue already drained above) goes back through the
+			// gateway with original arrival stamps — the retried work
+			// shows up as latency, not as lost requests. Resilience-
+			// enabled systems always take this path.
+			reqs := si.inst.Abort()
+			f.teardown(si)
+			f.redispatch(reqs, now)
+			return
+		}
 		// The instance dies with whatever batch it was executing: those
 		// requests are destroyed, not redispatched (retrying work whose
 		// results are half-computed is the caller's policy, and no

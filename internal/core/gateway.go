@@ -36,12 +36,18 @@ type Request struct {
 	Deadline sim.Duration
 }
 
-// TenantStats is the gateway's per-tenant admission ledger.
+// TenantStats is the gateway's per-tenant admission ledger. Retries and
+// Hedges count resilience redeliveries drawn against the tenant's retry
+// budget (Retries + Hedges ≤ RetryBudget × Admitted — the budget check
+// reads exactly these counters, so amplification is bounded per tenant,
+// not per function).
 type TenantStats struct {
 	Tenant    string
 	Submitted int64
 	Admitted  int64
 	Shed      int64
+	Retries   int64
+	Hedges    int64
 }
 
 // gateway is the admission front of a System: the pluggable policy and
@@ -140,6 +146,8 @@ func (sys *System) gatewaySLO(horizon sim.Duration) *metrics.GatewaySLO {
 			Submitted: ts.Submitted,
 			Admitted:  ts.Admitted,
 			Shed:      ts.Shed,
+			Retries:   ts.Retries,
+			Hedges:    ts.Hedges,
 		}
 		if row.Tenant == "" {
 			row.Tenant = "default"

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"dilu/internal/cluster"
+	"dilu/internal/sim"
+)
+
+// Health-aware scheduling: a 1 Hz monitor scores every GPU from the
+// signals a DCGM-style agent would see — observed slowdown and
+// transient-error arrivals — and ejects outliers from the schedulable
+// indexes (cluster.Quarantined). Existing placements migrate
+// make-before-break over churn's drain path, placement automatically
+// skips quarantined capacity (Schedulable() is already the gate in
+// every index), and a probe readmits the GPU once it runs clean. A
+// quarantine quota caps how much capacity the monitor may eject, so a
+// correlated gray event cannot trick it into shrinking the fleet below
+// what the traffic needs.
+
+// HealthConfig enables the per-GPU health monitor. Zero-valued knobs
+// take the documented defaults; a nil *HealthConfig in Config disables
+// monitoring entirely.
+type HealthConfig struct {
+	// SlowdownThreshold is the observed straggler factor at or above
+	// which a sample counts against the GPU (default 2.0); a readmit
+	// probe also requires the factor back below it.
+	SlowdownThreshold float64
+	// SlowSamples is how many consecutive 1 Hz samples must exceed the
+	// threshold before quarantine (default 3) — a single slow second is
+	// noise, a streak is a straggler.
+	SlowSamples int
+	// ErrorThreshold errors within ErrorWindow quarantine the GPU
+	// (defaults 3 / 30 s).
+	ErrorThreshold int
+	ErrorWindow    sim.Duration
+	// ProbeAfter is the quarantine dwell before a readmit probe
+	// (default 20 s); a dirty probe resets the clock.
+	ProbeAfter sim.Duration
+	// MaxQuarantineFrac caps simultaneously quarantined GPUs as a
+	// fraction of the fleet (default 0.25).
+	MaxQuarantineFrac float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.SlowdownThreshold <= 0 {
+		c.SlowdownThreshold = 2.0
+	}
+	if c.SlowSamples <= 0 {
+		c.SlowSamples = 3
+	}
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 3
+	}
+	if c.ErrorWindow <= 0 {
+		c.ErrorWindow = 30 * sim.Second
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = 20 * sim.Second
+	}
+	if c.MaxQuarantineFrac <= 0 {
+		c.MaxQuarantineFrac = 0.25
+	}
+	return c
+}
+
+// gpuHealth is the monitor's per-GPU score state.
+type gpuHealth struct {
+	slowStreak  int
+	errs        []sim.Time // error arrivals inside the sliding window
+	quarantined bool
+	// errsSince counts errors observed while quarantined; a probe
+	// readmits only after a zero-error dwell.
+	errsSince int
+}
+
+// healthMonitor samples GPU health at 1 Hz (riding System.sample) and
+// drives the quarantine/probe/readmit cycle.
+type healthMonitor struct {
+	sys         *System
+	cfg         HealthConfig
+	state       []gpuHealth // parallel to Clu.GPUs()
+	index       map[*cluster.GPU]int
+	quarantined int
+}
+
+func newHealthMonitor(sys *System, cfg HealthConfig) *healthMonitor {
+	gpus := sys.Clu.GPUs()
+	m := &healthMonitor{
+		sys:   sys,
+		cfg:   cfg.withDefaults(),
+		state: make([]gpuHealth, len(gpus)),
+		index: make(map[*cluster.GPU]int, len(gpus)),
+	}
+	for i, g := range gpus {
+		m.index[g] = i
+	}
+	return m
+}
+
+// sample is the 1 Hz scoring pass: read each device's observed
+// slowdown, advance streaks, quarantine outliers.
+func (m *healthMonitor) sample(now sim.Time) {
+	for i, g := range m.sys.Clu.GPUs() {
+		st := &m.state[i]
+		if st.quarantined {
+			continue
+		}
+		if g.Dev.Slowdown() >= m.cfg.SlowdownThreshold {
+			st.slowStreak++
+			if st.slowStreak >= m.cfg.SlowSamples {
+				m.quarantine(g, st)
+			}
+		} else {
+			st.slowStreak = 0
+		}
+	}
+}
+
+// observeError feeds one transient-error arrival into the GPU's sliding
+// window (called by ErrorGPU at injection time).
+func (m *healthMonitor) observeError(g *cluster.GPU, now sim.Time) {
+	i, ok := m.index[g]
+	if !ok {
+		return
+	}
+	st := &m.state[i]
+	if st.quarantined {
+		st.errsSince++
+		return
+	}
+	st.errs = append(st.errs, now)
+	cut := 0
+	for cut < len(st.errs) && now-st.errs[cut] > m.cfg.ErrorWindow {
+		cut++
+	}
+	if cut > 0 {
+		st.errs = append(st.errs[:0], st.errs[cut:]...)
+	}
+	if len(st.errs) >= m.cfg.ErrorThreshold {
+		m.quarantine(g, st)
+	}
+}
+
+// quarantine ejects one GPU: out of the schedulable indexes, existing
+// instances migrated make-before-break (churn's drain path — the
+// replacement cold-starts elsewhere before the old instance retires),
+// probe scheduled. The quota and lifecycle guards keep the monitor off
+// churn-owned (draining/failed) GPUs and bound total ejected capacity.
+func (m *healthMonitor) quarantine(g *cluster.GPU, st *gpuHealth) {
+	sys := m.sys
+	if g.Health() != cluster.Healthy {
+		return
+	}
+	total := len(m.state)
+	if float64(m.quarantined+1) > m.cfg.MaxQuarantineFrac*float64(total) {
+		return // quota: keep serving on a degraded device over shrinking the fleet
+	}
+	st.quarantined = true
+	st.errsSince = 0
+	st.slowStreak = 0
+	st.errs = st.errs[:0]
+	m.quarantined++
+	sys.Clu.QuarantineGPU(g)
+	sys.faults.Quarantines++
+	sys.faultsSeen = true
+	before := sys.churn.MigratedInstances
+	for _, f := range sys.funcs {
+		f.sweepWarmRetired()
+		f.migrateRetired()
+	}
+	for _, tj := range sys.jobs {
+		tj.preemptRetired(false)
+	}
+	sys.faults.QuarantineMigrations += sys.churn.MigratedInstances - before
+	sys.Eng.After(m.cfg.ProbeAfter, func(at sim.Time) { m.probe(g, at) })
+}
+
+// probe decides readmission after the quarantine dwell: clean (no
+// errors while quarantined, slowdown back under threshold) readmits;
+// dirty resets the dwell and re-probes. If churn failed or drained the
+// GPU meanwhile, the monitor hands the device over to that lifecycle.
+func (m *healthMonitor) probe(g *cluster.GPU, at sim.Time) {
+	st := &m.state[m.index[g]]
+	if g.Health() != cluster.Quarantined {
+		if st.quarantined {
+			st.quarantined = false
+			m.quarantined--
+		}
+		return
+	}
+	if st.errsSince == 0 && g.Dev.Slowdown() < m.cfg.SlowdownThreshold {
+		st.quarantined = false
+		m.quarantined--
+		m.sys.Clu.ReadmitGPU(g)
+		m.sys.faults.Readmits++
+		return
+	}
+	st.errsSince = 0
+	m.sys.Eng.After(m.cfg.ProbeAfter, func(next sim.Time) { m.probe(g, next) })
+}

@@ -48,6 +48,18 @@ type Config struct {
 	// the pre-gateway behaviour). Policies hold per-run state — build a
 	// fresh value per System.
 	Admission AdmissionPolicy
+	// Resilience enables per-request timeout/retry and hedged dispatch
+	// (see ResilienceConfig); nil disables the layer with zero overhead.
+	Resilience *ResilienceConfig
+	// Health enables the per-GPU health monitor and quarantine cycle
+	// (see HealthConfig); nil disables monitoring.
+	Health *HealthConfig
+	// RequeueOnTeardown makes the no-keep-alive scale-in path requeue an
+	// instance's in-flight batch through the gateway instead of counting
+	// it lost. Default false preserves the historical drop-on-teardown
+	// ledger (resilience-enabled systems always requeue — losing
+	// requests would defeat the retry machinery).
+	RequeueOnTeardown bool
 	// Seed drives all randomness.
 	Seed int64
 	// Meter, when non-nil, observes the engine's virtual-time progress
@@ -76,6 +88,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Resilience != nil {
+		r := c.Resilience.withDefaults()
+		c.Resilience = &r
 	}
 	return c
 }
@@ -131,6 +147,13 @@ type System struct {
 
 	churn ChurnStats
 
+	// faults counts injected gray-failure events and mitigation
+	// outcomes; faultsSeen latches once any fault fires so the SLO
+	// summary's resilience block appears only on runs that need it.
+	faults     FaultStats
+	faultsSeen bool
+	health     *healthMonitor
+
 	invariants []Invariant
 
 	horizon sim.Duration
@@ -183,6 +206,9 @@ func NewSystem(cfg Config) (*System, error) {
 		m := rckm.NewManager(g.Dev, policy, cfg.RCKM)
 		sys.managers = append(sys.managers, m)
 		sys.mgrByGPU[g] = m
+	}
+	if cfg.Health != nil {
+		sys.health = newHealthMonitor(sys, *cfg.Health)
 	}
 	sys.tickHandle = sys.Eng.AddDynamicTicker(sim.TickerFunc(sys.tick))
 	sys.updateTickActivity() // nothing deployed yet: start deregistered
@@ -315,6 +341,9 @@ func (sys *System) sample(now sim.Time) {
 	for _, f := range sys.funcs {
 		f.sample(now)
 	}
+	if sys.health != nil {
+		sys.health.sample(now)
+	}
 }
 
 // Run advances the virtual clock to the horizon. Attached invariants are
@@ -342,6 +371,7 @@ func (sys *System) SLOSummary() *metrics.SLOSummary {
 	}
 	sum := metrics.SummarizeSLO(sys.Eng.Now(), recs...)
 	sum.Gateway = sys.gatewaySLO(sys.Eng.Now())
+	sum.Resilience = sys.resilienceSLO()
 	return sum
 }
 

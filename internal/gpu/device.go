@@ -27,6 +27,13 @@ type Device struct {
 	// the 5 ms execution loop does not allocate.
 	want []float64
 
+	// slow is the gray-failure straggler factor: when > 1 every usable
+	// rate is divided by it, so the device does one tick's work in slow
+	// ticks while still reporting nominal Capacity to the scheduler —
+	// exactly the signal mismatch that makes stragglers gray. Zero (the
+	// untouched default) and 1 mean full speed.
+	slow float64
+
 	// lastOccupancy is the total SM share consumed in the previous
 	// ExecuteTick, in [0,1]. Exposed for utilization/fragmentation traces.
 	lastOccupancy float64
@@ -106,6 +113,27 @@ func (d *Device) MemUsedMB() float64 { return d.usedMem }
 
 // MemFreeMB returns unreserved device memory.
 func (d *Device) MemFreeMB() float64 { return d.MemoryMB - d.usedMem }
+
+// SetSlowdown sets the straggler factor applied to every resident's
+// usable rate (f > 1 stretches execution f×; f ≤ 1 restores full
+// speed). Fault injection's knob — the health monitor reads it back via
+// Slowdown the way a DCGM-style per-GPU probe would observe degraded
+// throughput.
+func (d *Device) SetSlowdown(f float64) {
+	if f <= 1 {
+		f = 0
+	}
+	d.slow = f
+}
+
+// Slowdown returns the current straggler factor (1 when the device runs
+// at full speed).
+func (d *Device) Slowdown() float64 {
+	if d.slow > 1 {
+		return d.slow
+	}
+	return 1
+}
 
 // LastOccupancy returns the SM share consumed in the previous tick.
 func (d *Device) LastOccupancy() float64 { return d.lastOccupancy }
@@ -199,6 +227,9 @@ func (d *Device) ExecuteTick() {
 		r.grantedLast = r.granted
 		s := r.granted / d.Capacity
 		usable := d.Capacity * Eff(r.SatK, s)
+		if d.slow > 1 { // straggler: stretch execution, keep nominal capacity
+			usable /= d.slow
+		}
 		w := r.pending
 		if w > usable {
 			w = usable
@@ -230,6 +261,9 @@ func (d *Device) ExecuteTick() {
 	for i, r := range d.residents {
 		s := r.granted / d.Capacity
 		r.usableLast = d.Capacity * Eff(r.SatK, s) * scale
+		if d.slow > 1 {
+			r.usableLast /= d.slow
+		}
 		x := want[i] * scale
 		if x > r.pending {
 			x = r.pending

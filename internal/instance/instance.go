@@ -36,6 +36,13 @@ type Request struct {
 	Tenant   string
 	Priority int
 	Deadline sim.Time
+
+	// Resilience metadata (see core.ResilienceConfig). Attempt counts
+	// timeout-driven redeliveries of this request (0 = first try); Hedge
+	// marks a speculative duplicate racing the primary copy. Both are
+	// zero on every request when resilience is off.
+	Attempt int
+	Hedge   bool
 }
 
 // Stage couples one GPU execution context with its RCKM client. Single-
@@ -86,6 +93,13 @@ type Inference struct {
 	busySince     sim.Time
 	lastServedAt  sim.Time
 	stepsObserved int64
+
+	// onComplete, when set, intercepts each batch completion before the
+	// latency sample is recorded. Returning false discards the
+	// completion unrecorded — a hedge copy that lost its race. Nil (the
+	// default) records everything, byte-identically to the pre-hook
+	// path.
+	onComplete func(req Request, done sim.Time) bool
 }
 
 // NewInference builds an inference instance. Stages must be non-empty;
@@ -100,6 +114,41 @@ func NewInference(id, fn string, spec *model.Spec, ibs int, stages []Stage, rec 
 	inst := &Inference{ID: id, Func: fn, Spec: spec, IBS: ibs, Stages: stages, Rec: rec}
 	inst.applySaturation(1)
 	return inst
+}
+
+// SetOnComplete installs the resilience layer's completion hook. The
+// hook sees every finishing request; returning false suppresses the
+// latency sample and the served count for that copy.
+func (in *Inference) SetOnComplete(fn func(req Request, done sim.Time) bool) { in.onComplete = fn }
+
+// StealQueued removes and returns the queued (not yet executing) copy
+// of request id, if present. The resilience layer uses it to pull a
+// timed-out request off a straggling instance's queue for retry
+// elsewhere, and to cancel hedge losers that never started executing.
+func (in *Inference) StealQueued(id int64) (Request, bool) {
+	for i, req := range in.queue {
+		if req.ID == id {
+			in.queue = append(in.queue[:i], in.queue[i+1:]...)
+			return req, true
+		}
+	}
+	return Request{}, false
+}
+
+// HasRequest reports whether a copy of request id is held by this
+// instance, queued or executing.
+func (in *Inference) HasRequest(id int64) bool {
+	for _, req := range in.batch {
+		if req.ID == id {
+			return true
+		}
+	}
+	for _, req := range in.queue {
+		if req.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // SetActive marks the instance ready to serve (cold start complete).
@@ -242,6 +291,9 @@ func (in *Inference) PostTick(now sim.Time) {
 	// queued for an instance) so SLO accounting can separate cold-start
 	// violations from execution-path ones.
 	for _, req := range in.batch {
+		if in.onComplete != nil && !in.onComplete(req, done) {
+			continue // duplicate copy: already served elsewhere
+		}
 		lat := done - req.Arrive
 		if in.Spec.Generative && in.Spec.AvgOutTokens > 0 {
 			lat = lat / sim.Duration(in.Spec.AvgOutTokens) // time per output token

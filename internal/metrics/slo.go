@@ -49,6 +49,11 @@ type TenantSLOStats struct {
 	Admitted  int64  `json:"admitted"`
 	Shed      int64  `json:"shed"`
 	Served    int64  `json:"served"`
+	// Retries and Hedges count resilience redeliveries charged to the
+	// tenant's retry budget; omitted (keeping pre-fault bytes) when the
+	// resilience layer never acted for the tenant.
+	Retries int64 `json:"retries,omitempty"`
+	Hedges  int64 `json:"hedges,omitempty"`
 	// GoodputRPS is the tenant's SLO-met request rate over the horizon.
 	GoodputRPS float64 `json:"goodput_rps"`
 }
@@ -73,6 +78,27 @@ func (g *GatewaySLO) ShedRate() float64 {
 	return float64(g.Shed) / float64(g.Submitted)
 }
 
+// ResilienceSLO is the gray-failure block of a run summary: injected
+// fault events and per-cause mitigation attribution (timeouts, retry
+// successes, hedge wins, quarantine migrations). Present only on runs
+// that injected faults or enabled a mitigation layer; every column is
+// omitempty so partial activity keeps minimal bytes.
+type ResilienceSLO struct {
+	SlowEvents           int64 `json:"slow_events,omitempty"`
+	ErrorEvents          int64 `json:"error_events,omitempty"`
+	AbortedBatches       int64 `json:"aborted_batches,omitempty"`
+	AbortedRequests      int64 `json:"aborted_requests,omitempty"`
+	Timeouts             int64 `json:"timeouts,omitempty"`
+	Retries              int64 `json:"retries,omitempty"`
+	RetrySuccess         int64 `json:"retry_success,omitempty"`
+	Hedges               int64 `json:"hedges,omitempty"`
+	HedgeWins            int64 `json:"hedge_wins,omitempty"`
+	HedgeDiscards        int64 `json:"hedge_discards,omitempty"`
+	Quarantines          int64 `json:"quarantines,omitempty"`
+	Readmits             int64 `json:"readmits,omitempty"`
+	QuarantineMigrations int64 `json:"quarantine_migrations,omitempty"`
+}
+
 // SLOSummary rolls per-function SLO accounting up to one run.
 type SLOSummary struct {
 	Funcs []SLOFuncStats `json:"funcs,omitempty"`
@@ -80,6 +106,10 @@ type SLOSummary struct {
 	// Gateway is the admission roll-up; nil for single-tenant runs with
 	// the admit-all policy (the pre-gateway configuration).
 	Gateway *GatewaySLO `json:"gateway,omitempty"`
+
+	// Resilience is the gray-failure/mitigation roll-up; nil for runs
+	// that never injected a fault nor enabled retry/hedge/quarantine.
+	Resilience *ResilienceSLO `json:"resilience,omitempty"`
 
 	Requests            int64 `json:"requests"`
 	Violations          int64 `json:"violations"`

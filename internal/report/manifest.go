@@ -78,6 +78,11 @@ type SLOBlock struct {
 	// and goodput); omitted for single-tenant admit-all runs so
 	// pre-gateway manifests keep their bytes.
 	Gateway *metrics.GatewaySLO `json:"gateway,omitempty"`
+
+	// Resilience is the gray-failure roll-up (fault events and per-cause
+	// mitigation attribution); omitted for fault-free runs so pre-fault
+	// manifests keep their bytes.
+	Resilience *metrics.ResilienceSLO `json:"resilience,omitempty"`
 }
 
 // SLOBlockOf compresses a summary into the manifest block; nil in, nil out.
@@ -93,6 +98,7 @@ func SLOBlockOf(s *metrics.SLOSummary) *SLOBlock {
 		P95Attainment:       s.P95Attainment,
 		P99Attainment:       s.P99Attainment,
 		Gateway:             s.Gateway,
+		Resilience:          s.Resilience,
 	}
 }
 

@@ -60,11 +60,23 @@ func (d *Decision) OnFailedGPU() bool {
 }
 
 // OnRetiredGPU reports whether any of the decision's GPUs has left
-// service (failed or draining) — the gateway should migrate the
-// instance off the node.
+// service (failed, draining, or quarantined) — the gateway should
+// migrate the instance off the device.
 func (d *Decision) OnRetiredGPU() bool {
 	for _, g := range d.GPUs {
 		if !g.Schedulable() {
+			return true
+		}
+	}
+	return false
+}
+
+// OnGPU reports whether the decision holds a reservation on g — fault
+// injection uses it to find the instances whose batches a device error
+// aborts.
+func (d *Decision) OnGPU(g *cluster.GPU) bool {
+	for _, dg := range d.GPUs {
+		if dg == g {
 			return true
 		}
 	}

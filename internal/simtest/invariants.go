@@ -58,11 +58,19 @@ func Checkers() []core.Invariant {
 //     request is accounted against exactly one tenant and one function,
 //     even when its request-level tenant differs from the function's
 //     deployment tenant).
+//
+// Under resilience (retries/hedges) the conservation equation gains the
+// duplicate-copy term — recount = in-flight + extra live copies — and
+// the at-most-once-service check arms: distinct served request IDs must
+// equal recorded service count, so no interleaving of abort, retry, and
+// hedge ever records the same request twice. The tenant ledgers'
+// retry/hedge totals must likewise match the per-function mitigation
+// stats (the budget is charged exactly once per redelivery).
 func RequestConservation() core.Invariant {
 	return core.Invariant{
 		Name: "request-conservation",
 		Check: func(sys *core.System, now sim.Time) error {
-			var fSub, fAdm, fShed int64
+			var fSub, fAdm, fShed, fRetry, fHedge int64
 			for _, f := range sys.Functions() {
 				sub, adm, shed := f.GatewayCounts()
 				if sub != adm+shed {
@@ -74,15 +82,22 @@ func RequestConservation() core.Invariant {
 					return fmt.Errorf("%s: negative in-flight ledger: admitted %d < served %d + lost %d",
 						f.Name, adm, f.Served(), f.Lost())
 				}
-				if recount := f.RecountInFlight(); recount != inflight {
-					return fmt.Errorf("%s: in-flight drifted: ledger %d (admitted−served), ground truth %d (pending+queued+batched)",
-						f.Name, inflight, recount)
+				if recount, extra := f.RecountInFlight(), f.ExtraCopies(); recount != inflight+extra {
+					return fmt.Errorf("%s: in-flight drifted: ledger %d + %d extra copies, ground truth %d (pending+queued+batched+parked)",
+						f.Name, inflight, extra, recount)
 				}
+				if unique, ok := f.UniqueServed(); ok && unique != f.Served() {
+					return fmt.Errorf("%s: at-most-once service violated: %d distinct requests served, %d services recorded",
+						f.Name, unique, f.Served())
+				}
+				st := f.ResilienceStats()
+				fRetry += st.Retries
+				fHedge += st.Hedges
 				fSub += sub
 				fAdm += adm
 				fShed += shed
 			}
-			var tSub, tAdm, tShed int64
+			var tSub, tAdm, tShed, tRetry, tHedge int64
 			for _, ts := range sys.GatewayTenantStats() {
 				if ts.Submitted != ts.Admitted+ts.Shed {
 					return fmt.Errorf("tenant %q: gateway ledger leak: submitted %d ≠ admitted %d + shed %d",
@@ -91,10 +106,16 @@ func RequestConservation() core.Invariant {
 				tSub += ts.Submitted
 				tAdm += ts.Admitted
 				tShed += ts.Shed
+				tRetry += ts.Retries
+				tHedge += ts.Hedges
 			}
 			if tSub != fSub || tAdm != fAdm || tShed != fShed {
 				return fmt.Errorf("tenant/function ledgers disagree: tenants %d/%d/%d, functions %d/%d/%d (submitted/admitted/shed)",
 					tSub, tAdm, tShed, fSub, fAdm, fShed)
+			}
+			if tRetry != fRetry || tHedge != fHedge {
+				return fmt.Errorf("retry-budget ledgers disagree: tenants %d/%d, functions %d/%d (retries/hedges)",
+					tRetry, tHedge, fRetry, fHedge)
 			}
 			return nil
 		},
@@ -206,10 +227,11 @@ func NoNegativeResidents() core.Invariant {
 
 // RetiredGPUQuiescence verifies the churn lifecycle's placement
 // contract: a failed GPU holds no placements and no device residents
-// (FailNode evicts, the serving plane detaches), and a draining GPU's
-// placement set only ever shrinks — new work never lands on a node on
-// its way out. Drain-set watermarks live in the closure: one instance
-// per system.
+// (FailNode evicts, the serving plane detaches), and a draining or
+// quarantined GPU's placement set only ever shrinks — new work never
+// lands on a device on its way out, whether churn or the health
+// monitor retired it. Drain-set watermarks live in the closure: one
+// instance per system.
 func RetiredGPUQuiescence() core.Invariant {
 	draining := map[string]map[string]bool{} // gpu ID → instance IDs seen at drain time
 	return core.Invariant{
@@ -225,7 +247,7 @@ func RetiredGPUQuiescence() core.Invariant {
 					if g.Dev != nil && g.Dev.ResidentCount() > 0 {
 						return fmt.Errorf("%s: failed GPU still executes %d residents", g.ID, g.Dev.ResidentCount())
 					}
-				case cluster.Draining:
+				case cluster.Draining, cluster.Quarantined:
 					seen, ok := draining[g.ID]
 					if !ok {
 						// First observation since the drain began: the

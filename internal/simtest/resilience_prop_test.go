@@ -1,0 +1,219 @@
+package simtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"dilu/internal/core"
+	"dilu/internal/model"
+	"dilu/internal/profiler"
+	"dilu/internal/scaler"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+// Property tests for the resilience layer, wired into `make
+// test-race-subsys`: the capped exponential backoff's determinism and
+// bounds, the SRE retry budget against the tenant ledger, and
+// at-most-once service under random fault/retry/hedge interleavings
+// with the armed invariants auditing every tick.
+
+// TestBackoffDeterministicAndCapped: Backoff is a pure function of the
+// attempt number — deterministic, monotone non-decreasing, starting at
+// the base and never exceeding the cap.
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := core.ResilienceConfig{
+			BackoffBase: sim.Duration(1+rng.Intn(500)) * sim.Millisecond,
+			BackoffCap:  sim.Duration(1+rng.Intn(5000)) * sim.Millisecond,
+		}
+		if cfg.BackoffCap < cfg.BackoffBase {
+			cfg.BackoffBase, cfg.BackoffCap = cfg.BackoffCap, cfg.BackoffBase
+		}
+		prev := sim.Duration(0)
+		for n := 1; n <= 40; n++ {
+			d := cfg.Backoff(n)
+			if d != cfg.Backoff(n) {
+				t.Fatalf("seed %d: Backoff(%d) not deterministic", seed, n)
+			}
+			if d < cfg.BackoffBase || d > cfg.BackoffCap {
+				t.Fatalf("seed %d: Backoff(%d)=%v outside [base %v, cap %v]",
+					seed, n, d, cfg.BackoffBase, cfg.BackoffCap)
+			}
+			if d < prev {
+				t.Fatalf("seed %d: Backoff(%d)=%v < Backoff(%d)=%v", seed, n, d, n-1, prev)
+			}
+			if n == 1 && d != cfg.BackoffBase {
+				t.Fatalf("seed %d: first backoff %v ≠ base %v", seed, d, cfg.BackoffBase)
+			}
+			prev = d
+		}
+	}
+}
+
+// resilienceChaos drives one random interleaving of request bursts and
+// direct fault injections (slowdowns, restores, batch errors) against a
+// resilience-enabled two-node system with the invariants armed, then
+// drains and returns the system for property assertions.
+func resilienceChaos(t *testing.T, seed int64, budget float64) *core.System {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sys := core.MustSystem(core.Config{
+		Nodes: 2, GPUsPerNode: 2, Seed: seed,
+		Invariants: Checkers(),
+		Resilience: &core.ResilienceConfig{
+			Timeout:     40 * sim.Millisecond,
+			BackoffBase: 10 * sim.Millisecond,
+			MaxAttempts: 4,
+			RetryBudget: budget,
+			HedgeDelay:  25 * sim.Millisecond,
+		},
+		Health: &core.HealthConfig{SlowSamples: 2, ProbeAfter: 2 * sim.Second},
+	})
+	if _, err := sys.DeployInference("f", "BERT-base", core.InferOpts{Instances: 2, NoScaler: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DeployInference("g", "ResNet152", core.InferOpts{Instances: 2, NoScaler: true, Tenant: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 30; step++ {
+		now := sys.Eng.Now()
+		for i, burst := 0, rng.Intn(10); i < burst; i++ {
+			req := core.Request{Func: []string{"f", "g"}[rng.Intn(2)]}
+			if req.Func == "g" {
+				req.Tenant = "alpha"
+			}
+			if rng.Intn(2) == 0 {
+				req.Deadline = sim.Duration(20+rng.Intn(100)) * sim.Millisecond
+			}
+			sys.Submit(now, req)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			sys.SlowGPU(rng.Intn(2), rng.Intn(2), 2+6*rng.Float64())
+		case 1:
+			sys.SlowGPU(rng.Intn(2), rng.Intn(2), 1) // restore
+		case 2:
+			sys.ErrorGPU(rng.Intn(2), rng.Intn(2))
+		}
+		sys.Run(sim.Duration(1+rng.Intn(40)) * 5 * sim.Millisecond)
+	}
+	// Restore every device and drain: retries park up to
+	// MaxAttempts×backoff, hedges resolve at first completion.
+	for n := 0; n < 2; n++ {
+		for g := 0; g < 2; g++ {
+			sys.SlowGPU(n, g, 1)
+		}
+	}
+	sys.Run(5 * sim.Second)
+	return sys
+}
+
+// TestRetryBudgetBoundsRedeliveries: across random fault interleavings,
+// each tenant's retries + hedges stay within the SRE budget — a
+// fraction of its admitted traffic (one in-flight redelivery of slack
+// past the strict bound, since the budget is checked before acting).
+func TestRetryBudgetBoundsRedeliveries(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		budget := 0.05 + 0.3*rand.New(rand.NewSource(seed)).Float64()
+		sys := resilienceChaos(t, seed, budget)
+		var acted bool
+		for _, ts := range sys.GatewayTenantStats() {
+			redelivered := float64(ts.Retries + ts.Hedges)
+			if bound := budget*float64(ts.Admitted) + 1; redelivered > bound {
+				t.Fatalf("seed %d: tenant %q redelivered %v > budget %.2f × admitted %d + 1",
+					seed, ts.Tenant, redelivered, budget, ts.Admitted)
+			}
+			if ts.Retries+ts.Hedges > 0 {
+				acted = true
+			}
+		}
+		if !acted {
+			t.Fatalf("seed %d: no retries or hedges fired — chaos too gentle to test the budget", seed)
+		}
+	}
+}
+
+// TestAtMostOnceUnderFaultInterleavings: random abort/retry/hedge
+// interleavings never serve a request twice and never leak one — the
+// unique-served count matches the ledger and the extended conservation
+// recount (parked + in-flight + speculative copies) balances. The armed
+// checkers audit the same invariants at every fired tick; this is the
+// independent end-of-run restatement.
+func TestAtMostOnceUnderFaultInterleavings(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sys := resilienceChaos(t, seed, 0.5)
+		for _, f := range sys.Functions() {
+			unique, ok := f.UniqueServed()
+			if !ok {
+				t.Fatalf("seed %d: %s lost its resilience ledger", seed, f.Name)
+			}
+			if unique != f.Served() {
+				t.Fatalf("seed %d: %s served %d requests but %d unique — duplicate service",
+					seed, f.Name, f.Served(), unique)
+			}
+			_, adm, _ := f.GatewayCounts()
+			if adm != f.Served()+f.InFlightCount()+f.Lost() {
+				t.Fatalf("seed %d: %s ledger broken: admitted %d ≠ served %d + inflight %d + lost %d",
+					seed, f.Name, adm, f.Served(), f.InFlightCount(), f.Lost())
+			}
+			if recount, extra := f.RecountInFlight(), f.ExtraCopies(); recount != f.InFlightCount()+extra {
+				t.Fatalf("seed %d: %s recount %d ≠ in-flight %d + extra copies %d",
+					seed, f.Name, recount, f.InFlightCount(), extra)
+			}
+		}
+	}
+}
+
+// TestRequeueOnTeardownEliminatesLoss is the scale-in regression test:
+// under a no-keep-alive policy (Dilu's lazy scale-in, TTL 0) a burst
+// that scales out and then ebbs tears instances down mid-batch. The
+// legacy path counts the dying batch as lost; RequeueOnTeardown sends
+// it back through the gateway, so nothing is lost and every admitted
+// request is eventually served. Same seed, same arrivals, same scaler —
+// only the flag differs.
+func TestRequeueOnTeardownEliminatesLoss(t *testing.T) {
+	run := func(requeue bool) *core.System {
+		sys := core.MustSystem(core.Config{
+			Nodes: 1, GPUsPerNode: 4, Seed: 11,
+			Invariants:        Checkers(),
+			RequeueOnTeardown: requeue,
+			// Hair-trigger lazy scale-in so the underloaded tail of the
+			// run sheds instances while their batches still execute.
+			NewScaler: func() scaler.Policy {
+				return scaler.NewDilu(scaler.DiluConfig{Window: 4, PhiOut: 2, PhiIn: 2})
+			},
+		})
+		prof := profiler.For(model.ByName("VGG19"), profiler.RoleInference)
+		if _, err := sys.DeployInference("f", "VGG19", core.InferOpts{
+			Instances: 3,
+			// ~1.5× one instance's rate: under 2-instance capacity, so the
+			// scaler keeps trying to shed the third instance mid-traffic.
+			Arrivals: workload.Poisson{RPS: 1.5 * prof.ServingRPS},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(40 * sim.Second)
+		return sys
+	}
+
+	legacy, requeued := run(false), run(true)
+	var legacyLost int64
+	for _, f := range legacy.Functions() {
+		legacyLost += f.Lost()
+	}
+	if legacyLost == 0 {
+		t.Fatal("legacy run lost nothing — scale-in never caught an in-flight batch, regression not exercised")
+	}
+	for _, f := range requeued.Functions() {
+		if f.Lost() != 0 {
+			t.Fatalf("requeue-on-teardown still lost %d requests", f.Lost())
+		}
+		_, adm, _ := f.GatewayCounts()
+		if f.Served()+f.InFlightCount() != adm {
+			t.Fatalf("requeued run leaks: served %d + in-flight %d ≠ admitted %d",
+				f.Served(), f.InFlightCount(), adm)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dilu/internal/sim"
+)
+
+func TestStragglerMixDeterministicAndPaired(t *testing.T) {
+	gen := func() []FaultEvent {
+		return StragglerMix(sim.NewRNG(7), 2, 4, 10*sim.Second, 2*sim.Second, 30*sim.Second, 3, 4.0)
+	}
+	a, b := gen(), gen()
+	if len(a) != 6 {
+		t.Fatalf("events = %d, want 3 slow + 3 restore", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mix not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+	// Every straggler restores exactly once, dur after its slowdown, on a
+	// distinct GPU.
+	type target struct{ node, gpu int }
+	slows := map[target]sim.Time{}
+	for _, ev := range a {
+		if ev.Kind != FaultSlow {
+			t.Fatalf("non-slow event in straggler mix: %+v", ev)
+		}
+		tg := target{ev.Node, ev.GPU}
+		switch ev.Factor {
+		case 4.0:
+			if _, dup := slows[tg]; dup {
+				t.Fatalf("GPU %v slowed twice", tg)
+			}
+			slows[tg] = ev.At
+		case 1.0:
+			at, ok := slows[tg]
+			if !ok {
+				t.Fatalf("restore of never-slowed GPU %v", tg)
+			}
+			if ev.At != at+30*sim.Second {
+				t.Fatalf("GPU %v restores at %v, want slow+30s", tg, ev.At)
+			}
+		default:
+			t.Fatalf("unexpected factor %v", ev.Factor)
+		}
+	}
+	if len(slows) != 3 {
+		t.Fatalf("%d distinct GPUs slowed, want 3", len(slows))
+	}
+}
+
+func TestStragglerMixCountClamped(t *testing.T) {
+	evs := StragglerMix(sim.NewRNG(1), 1, 2, 0, sim.Second, sim.Second, 10, 2.0)
+	if len(evs) != 4 {
+		t.Fatalf("count must clamp to GPU count: got %d events", len(evs))
+	}
+}
+
+func TestFaultWaveDeterministicAndBounded(t *testing.T) {
+	gen := func() []FaultEvent {
+		return FaultWave(sim.NewRNG(3), 1, 4, 5*sim.Second, 60*sim.Second, 3.0)
+	}
+	a, b := gen(), gen()
+	if len(a) == 0 {
+		t.Fatal("wave produced no events")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wave not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Kind != FaultError || a[i].Node != 1 {
+			t.Fatalf("wave event %d targets wrong node/kind: %+v", i, a[i])
+		}
+		if a[i].At < 5*sim.Second || a[i].At >= 65*sim.Second {
+			t.Fatalf("wave event %d outside window: %v", i, a[i].At)
+		}
+		if a[i].GPU < 0 || a[i].GPU >= 4 {
+			t.Fatalf("wave event %d bad GPU %d", i, a[i].GPU)
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+	if evs := FaultWave(sim.NewRNG(3), 0, 4, 0, 0, 3.0); evs != nil {
+		t.Fatal("zero-duration wave must be empty")
+	}
+}
+
+func TestParseFaultCSV(t *testing.T) {
+	in := `# incident replay
+seconds,action,node,gpu,factor
+30,error,2,*
+10,slow,0,3,4
+40.5,SLOW,0,3,1
+`
+	evs, err := ParseFaultCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{At: 10 * sim.Second, Kind: FaultSlow, Node: 0, GPU: 3, Factor: 4},
+		{At: 30 * sim.Second, Kind: FaultError, Node: 2, GPU: -1},
+		{At: sim.FromSeconds(40.5), Kind: FaultSlow, Node: 0, GPU: 3, Factor: 1},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestParseFaultCSVRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"10,melt,0,0\n",                // unknown action
+		"10,slow,0\n",                  // missing gpu
+		"-5,error,0,0\n",               // negative time
+		"10,error,-1,0\n",              // negative node
+		"10,error,0,-2\n",              // negative gpu (only '*' means all)
+		"10,slow,0,0\n",                // slow without factor
+		"10,slow,0,0,0.5\n",            // sub-1 slowdown is meaningless
+		"x,error,0,0\ny,error,1,0\n",   // non-numeric time past the header
+		"1o0,error,3,0\n",              // digit-bearing typo is never a header
+		"5,error,0,0\nbad,error,1,0\n", // malformed mid-file line must error
+	} {
+		if _, err := ParseFaultCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
