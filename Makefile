@@ -45,7 +45,7 @@ bench-quick:
 # PINNED_BENCHMARKS so the run set and the gated set cannot drift.
 # Recipes avoid `test | tee` because the default shell has no pipefail —
 # a crashing benchmark must fail the target even mid-log.
-PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit BenchmarkGrayFailure
+PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit BenchmarkGrayFailure BenchmarkColdStartStages
 empty :=
 space := $(empty) $(empty)
 PINNED_BENCH_RE = ^($(subst $(space),|,$(strip $(PINNED_BENCHMARKS))))$$

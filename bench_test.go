@@ -199,6 +199,15 @@ func BenchmarkGrayFailure(b *testing.B) { runExperiment(b, "gray_failure") }
 // pinned slow-GPU schedule.
 func BenchmarkStragglerTail(b *testing.B) { runExperiment(b, "straggler_tail") }
 
+// BenchmarkColdStartStages runs the three-arm staged cold-start
+// comparison: stage decomposition, per-stage violation attribution, and
+// kernel-cache warm pools all on the hot path of the cached arm.
+func BenchmarkColdStartStages(b *testing.B) { runExperiment(b, "coldstart_stages") }
+
+// BenchmarkPrewarmPolicy runs the reactive-vs-prewarm ramp comparison
+// with the rate-trend prewarming step on the sampling path.
+func BenchmarkPrewarmPolicy(b *testing.B) { runExperiment(b, "prewarm_policy") }
+
 // BenchmarkGatewaySubmit measures the gateway hot path — tenant ledger
 // update, admission decision, dispatch into the serving plane — for
 // submits that an always-full token bucket admits, on a warm function

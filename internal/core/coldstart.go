@@ -1,0 +1,192 @@
+// Staged cold starts: the serving-plane half of the cold-start stage
+// model. model.ColdStartStages supplies the decomposition (image init,
+// parameter load, kernel JIT); this file applies the node-local kernel
+// cache to shrink the JIT stage on relaunch, stamps each request freed
+// by a cold launch with the stage actually on its critical path, and
+// rolls cache/stage activity into the SLO summary's cold-start block.
+package core
+
+import (
+	"dilu/internal/metrics"
+	"dilu/internal/model"
+	"dilu/internal/sched"
+	"dilu/internal/sim"
+)
+
+// ColdStartConfig enables the staged cold-start model with node-local
+// kernel caches. Nil (the Config default) keeps the legacy scalar
+// path — identical timing, no caches, no stage attribution — so every
+// pre-stage driver manifest stays byte-identical.
+type ColdStartConfig struct {
+	// JITFactor scales the kernel-JIT stage of a cold launch whose
+	// target nodes all hold compiled kernels for the function: 0 (the
+	// default) skips the stage entirely, 0.5 halves it, 1 disables the
+	// shortening while keeping caches and attribution live.
+	JITFactor float64
+	// CacheCap bounds each node's kernel cache (LRU entries); <= 0
+	// defaults to 32 functions per node.
+	CacheCap int
+}
+
+func (c ColdStartConfig) withDefaults() ColdStartConfig {
+	if c.CacheCap <= 0 {
+		c.CacheCap = 32
+	}
+	return c
+}
+
+// ColdStartStats aggregates the run's cold-launch activity for the SLO
+// summary's cold-start block.
+type ColdStartStats struct {
+	KernelCacheHits   int64
+	KernelCacheMisses int64
+	PrewarmLaunches   int64
+	ColdLaunches      int64
+	ColdTime          sim.Duration
+}
+
+// ColdStartStats returns the run's cold-launch counters.
+func (sys *System) ColdStartStats() ColdStartStats { return sys.coldStats }
+
+// trackColdStages reports whether precise cold-on-path attribution is
+// armed: either the stage model or prewarming makes cold starts
+// first-class.
+func (sys *System) trackColdStages() bool {
+	return sys.cfg.ColdStart != nil || sys.cfg.Prewarm != nil
+}
+
+// coldStages returns the effective stage durations for a cold launch
+// on the decision's GPUs. With the stage model enabled, a launch whose
+// target nodes all hold compiled kernels for the function shrinks its
+// JIT stage by JITFactor; multi-node instances hit only when every
+// node is warm (each shard JITs locally). The default decomposition
+// sums exactly to Spec.ColdStart(), so the legacy path's timing is
+// unchanged to the nanosecond.
+func (f *Function) coldStages(dec sched.Decision) model.ColdStartStages {
+	st := f.Spec.ColdStartStages()
+	cc := f.sys.cfg.ColdStart
+	if cc == nil {
+		return st
+	}
+	warm := len(dec.GPUs) > 0
+	for _, g := range dec.GPUs {
+		if g.Node == nil || !g.Node.KernelsWarm(f.Name) {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		f.sys.coldStats.KernelCacheHits++
+		st.KernelJIT = sim.Duration(float64(st.KernelJIT) * cc.JITFactor)
+	} else {
+		f.sys.coldStats.KernelCacheMisses++
+	}
+	return st
+}
+
+// noteKernels records the function's kernels as compiled on every node
+// the decision touches — called when an instance activates (its JIT,
+// full or shortened, has completed by then). No-op on the legacy path:
+// caches exist only when the stage model is configured.
+func (f *Function) noteKernels(dec sched.Decision) {
+	if f.sys.cfg.ColdStart == nil {
+		return
+	}
+	for _, g := range dec.GPUs {
+		if g.Node != nil && g.Node.Kernels != nil {
+			g.Node.Kernels.Note(f.Name)
+		}
+	}
+}
+
+// coldStageOnPath attributes a request freed by a cold launch to the
+// launch stage its wait overlapped the most: the launch window is
+// [ready − total, ready], split into the three stage segments, and the
+// stage with the maximum overlap of [arrive, ready] wins (earlier
+// stage on exact ties). A request that never waited inside the window
+// gets ColdNone.
+func coldStageOnPath(arrive, ready sim.Time, st model.ColdStartStages) metrics.ColdStage {
+	start := ready - sim.Time(st.Total())
+	if arrive < start {
+		arrive = start
+	}
+	if arrive >= ready {
+		return metrics.ColdNone
+	}
+	b1 := start + sim.Time(st.ImageInit)
+	b2 := b1 + sim.Time(st.ModelLoad)
+	overlap := func(lo, hi sim.Time) sim.Duration {
+		if arrive > lo {
+			lo = arrive
+		}
+		if hi <= lo {
+			return 0
+		}
+		return sim.Duration(hi - lo)
+	}
+	best, bestStage := sim.Duration(0), metrics.ColdNone
+	for _, seg := range [...]struct {
+		lo, hi sim.Time
+		stage  metrics.ColdStage
+	}{
+		{start, b1, metrics.ColdImageInit},
+		{b1, b2, metrics.ColdModelLoad},
+		{b2, ready, metrics.ColdKernelJIT},
+	} {
+		if ov := overlap(seg.lo, seg.hi); ov > best {
+			best, bestStage = ov, seg.stage
+		}
+	}
+	return bestStage
+}
+
+// flushPendingCold is flushPending for a cold launch's activation: the
+// same priority/deadline drain, with each dispatched request stamped
+// with the cold-start stage on its critical path. Dispatch order and
+// timing are identical to flushPending — the stamp is attribution
+// metadata the recorder only counts when stage tracking is armed, so
+// the legacy path's bytes are untouched.
+func (f *Function) flushPendingCold(now sim.Time, st model.ColdStartStages) {
+	if len(f.pending) == 0 {
+		return
+	}
+	f.orderPending()
+	drained := 0
+	for _, req := range f.pending {
+		in := f.pickLeastLoaded()
+		if in == nil {
+			break
+		}
+		req.Dispatch = now
+		req.ColdStage = coldStageOnPath(req.Arrive, now, st)
+		f.enqueue(in, req)
+		drained++
+	}
+	if drained == 0 {
+		return
+	}
+	f.pending = append(f.pending[:0], f.pending[drained:]...)
+}
+
+// coldStartSLO assembles the SLO summary's cold-start block; nil (and
+// therefore absent from manifests) unless the stage model or
+// prewarming is configured.
+func (sys *System) coldStartSLO() *metrics.ColdStartSLO {
+	if !sys.trackColdStages() {
+		return nil
+	}
+	cs := &metrics.ColdStartSLO{
+		KernelCacheHits:   sys.coldStats.KernelCacheHits,
+		KernelCacheMisses: sys.coldStats.KernelCacheMisses,
+		PrewarmLaunches:   sys.coldStats.PrewarmLaunches,
+		ColdLaunches:      sys.coldStats.ColdLaunches,
+		ColdMillisTotal:   sys.coldStats.ColdTime.Millis(),
+	}
+	for _, f := range sys.funcs {
+		cs.ImageInitViolations += int64(f.Rec.StageViolations(metrics.ColdImageInit))
+		cs.ModelLoadViolations += int64(f.Rec.StageViolations(metrics.ColdModelLoad))
+		cs.KernelJITViolations += int64(f.Rec.StageViolations(metrics.ColdKernelJIT))
+		cs.WarmQueueViolations += int64(f.Rec.WarmQueueViolations())
+	}
+	return cs
+}

@@ -36,6 +36,11 @@ type InferOpts struct {
 	// NoScaler disables horizontal scaling for this function even when
 	// the system has a scaler factory.
 	NoScaler bool
+	// StartCold launches the initial instances through the cold-start
+	// path (serverless deploy semantics: the first requests queue behind
+	// the launch and pay it on their critical path). Default false keeps
+	// the historical pre-warmed deploy, where instances serve from t=0.
+	StartCold bool
 	// SLO overrides the model's default latency SLO for this deployment
 	// (per-function targets for SLO-pressure scenarios); zero keeps the
 	// model default.
@@ -118,6 +123,10 @@ type Function struct {
 	// it, keeping the default path byte-identical.
 	res *resilience
 
+	// prewarm is the predictive-prewarming state (rate-trend ring and
+	// in-flight launch windows); nil whenever Config.Prewarm is nil.
+	prewarm *prewarmState
+
 	pinned []int
 	seq    int
 }
@@ -196,6 +205,12 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 	if sys.cfg.Resilience != nil {
 		f.res = newResilience(sys.cfg.Resilience)
 	}
+	if sys.cfg.Prewarm != nil {
+		f.prewarm = newPrewarmState(*sys.cfg.Prewarm)
+	}
+	if sys.trackColdStages() {
+		f.Rec.SetColdStageTracking(true)
+	}
 	if f.tenant != "" {
 		f.Rec.SetTenant(f.tenant)
 	}
@@ -207,7 +222,7 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		if _, err := f.launch(false); err != nil {
+		if _, err := f.launch(opts.StartCold); err != nil {
 			return nil, err
 		}
 	}
@@ -391,12 +406,23 @@ func (f *Function) launch(cold bool) (*servedInstance, error) {
 	if cold {
 		f.ColdStarts.Inc()
 		f.Launches.Inc()
-		sys.Eng.After(f.Spec.ColdStart(), func(now sim.Time) {
+		// Staged cold start: the default decomposition's total equals
+		// the historical scalar exactly, and with the stage model
+		// enabled a kernel-cache hit shrinks the JIT stage. The
+		// activation flush stamps each freed request with the stage on
+		// its critical path — attribution metadata the recorder counts
+		// only when stage tracking is armed.
+		st := f.coldStages(dec)
+		sys.coldStats.ColdLaunches++
+		sys.coldStats.ColdTime += st.Total()
+		sys.Eng.After(st.Total(), func(now sim.Time) {
 			in.SetActive(true)
-			f.flushPending(now)
+			f.noteKernels(dec)
+			f.flushPendingCold(now, st)
 		})
 	} else {
 		in.SetActive(true)
+		f.noteKernels(dec)
 	}
 	return si, nil
 }
@@ -528,6 +554,10 @@ func (f *Function) sample(now sim.Time) {
 	f.RPSTrace.Add(now, rps)
 	f.InstTrace.Add(now, float64(len(f.active)))
 	f.flushPending(now)
+	if f.prewarm != nil {
+		f.prewarm.observe(rps)
+		f.prewarmStep(now)
+	}
 	if f.policy == nil {
 		return
 	}

@@ -1,0 +1,115 @@
+// Predictive prewarming: a rate-trend policy (in the spirit of
+// HAS-GPU's hybrid auto-scaling) that launches instances *ahead* of
+// projected demand so their cold starts are paid off the request path.
+// Nil-gated like resilience and health: Config.Prewarm == nil keeps
+// the serving plane byte-identical.
+package core
+
+import (
+	"math"
+
+	"dilu/internal/sim"
+)
+
+// PrewarmConfig tunes the rate-trend prewarming policy. The policy
+// runs in each function's 1 Hz control step: it fits a linear trend to
+// the trailing RPS samples, projects demand one cold-start ahead, and
+// launches cold instances now so they are active when that demand
+// lands.
+type PrewarmConfig struct {
+	// Window is the trailing sample count the trend fit uses
+	// (default 5 — five seconds of history).
+	Window int
+	// Lead is how far ahead demand is projected; zero defaults to the
+	// function's full cold-start duration plus one control period, the
+	// earliest a launch decided now can be serving.
+	Lead sim.Duration
+	// Headroom multiplies projected demand before conversion to an
+	// instance count (default 1.0; >1 over-provisions).
+	Headroom float64
+	// MaxPerStep caps prewarm launches per function per control step
+	// (default 1), bounding the cost of a mispredicted spike.
+	MaxPerStep int
+}
+
+func (c PrewarmConfig) withDefaults() PrewarmConfig {
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 1.0
+	}
+	if c.MaxPerStep <= 0 {
+		c.MaxPerStep = 1
+	}
+	return c
+}
+
+// prewarmState is one function's prewarming bookkeeping.
+type prewarmState struct {
+	cfg PrewarmConfig
+	// ring holds the trailing RPS samples, oldest first.
+	ring []float64
+	// launching holds the projected ready times of prewarmed cold
+	// starts still in their launch window, so consecutive steps do not
+	// re-launch for capacity that is already on the way.
+	launching []sim.Time
+}
+
+func newPrewarmState(cfg PrewarmConfig) *prewarmState {
+	return &prewarmState{cfg: cfg.withDefaults()}
+}
+
+// prewarmStep is the per-function 1 Hz prewarming decision. A rising
+// trend projected `lead` ahead that exceeds current-plus-launching
+// capacity triggers up to MaxPerStep cold launches, counted as prewarm
+// launches (their cold starts run with no request forced to wait on
+// them — that is the point).
+func (f *Function) prewarmStep(now sim.Time) {
+	pw := f.prewarm
+	cfg := pw.cfg
+	// Prune launch windows that have completed.
+	kept := pw.launching[:0]
+	for _, t := range pw.launching {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	pw.launching = kept
+	if len(pw.ring) < 2 || f.Profile.ServingRPS <= 0 {
+		return
+	}
+	first, last := pw.ring[0], pw.ring[len(pw.ring)-1]
+	slope := (last - first) / float64(len(pw.ring)-1) // RPS per second
+	if slope <= 0 {
+		return
+	}
+	lead := cfg.Lead
+	if lead <= 0 {
+		lead = f.Spec.ColdStart() + sim.Second
+	}
+	predicted := last + slope*lead.Seconds()
+	needed := int(math.Ceil(predicted * cfg.Headroom / f.Profile.ServingRPS))
+	have := len(f.active) + len(pw.launching)
+	for i := 0; i < cfg.MaxPerStep && have < needed; i++ {
+		if _, err := f.launch(true); err != nil {
+			break // no capacity: the reactive scaler's problem now
+		}
+		f.sys.coldStats.PrewarmLaunches++
+		// Spec.ColdStart() upper-bounds the launch window (a kernel-
+		// cache hit only shortens it), so the entry conservatively
+		// counts as "on the way" slightly too long rather than double-
+		// launching.
+		pw.launching = append(pw.launching, now+sim.Time(f.Spec.ColdStart()))
+		have++
+	}
+}
+
+// observe feeds the control step's RPS sample into the trend ring
+// before the decision runs.
+func (pw *prewarmState) observe(rps float64) {
+	pw.ring = append(pw.ring, rps)
+	if len(pw.ring) > pw.cfg.Window {
+		pw.ring = pw.ring[:copy(pw.ring, pw.ring[len(pw.ring)-pw.cfg.Window:])]
+	}
+}

@@ -54,6 +54,13 @@ type Config struct {
 	// Health enables the per-GPU health monitor and quarantine cycle
 	// (see HealthConfig); nil disables monitoring.
 	Health *HealthConfig
+	// ColdStart enables the staged cold-start model with node-local
+	// kernel caches (see ColdStartConfig); nil keeps the legacy scalar
+	// cold start — identical timing, no caches, no stage attribution.
+	ColdStart *ColdStartConfig
+	// Prewarm enables predictive prewarming (see PrewarmConfig); nil
+	// disables the layer with zero overhead.
+	Prewarm *PrewarmConfig
 	// RequeueOnTeardown makes the no-keep-alive scale-in path requeue an
 	// instance's in-flight batch through the gateway instead of counting
 	// it lost. Default false preserves the historical drop-on-teardown
@@ -92,6 +99,14 @@ func (c Config) withDefaults() Config {
 	if c.Resilience != nil {
 		r := c.Resilience.withDefaults()
 		c.Resilience = &r
+	}
+	if c.ColdStart != nil {
+		cs := c.ColdStart.withDefaults()
+		c.ColdStart = &cs
+	}
+	if c.Prewarm != nil {
+		pw := c.Prewarm.withDefaults()
+		c.Prewarm = &pw
 	}
 	return c
 }
@@ -154,6 +169,11 @@ type System struct {
 	faultsSeen bool
 	health     *healthMonitor
 
+	// coldStats aggregates cold-launch activity (kernel-cache hits,
+	// prewarm launches, total cold time); surfaced in the SLO summary
+	// only when the stage model or prewarming is configured.
+	coldStats ColdStartStats
+
 	invariants []Invariant
 
 	horizon sim.Duration
@@ -209,6 +229,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Health != nil {
 		sys.health = newHealthMonitor(sys, *cfg.Health)
+	}
+	if cfg.ColdStart != nil {
+		for _, n := range clu.Nodes {
+			n.Kernels = gpu.NewKernelCache(cfg.ColdStart.CacheCap)
+		}
 	}
 	sys.tickHandle = sys.Eng.AddDynamicTicker(sim.TickerFunc(sys.tick))
 	sys.updateTickActivity() // nothing deployed yet: start deregistered
@@ -372,6 +397,7 @@ func (sys *System) SLOSummary() *metrics.SLOSummary {
 	sum := metrics.SummarizeSLO(sys.Eng.Now(), recs...)
 	sum.Gateway = sys.gatewaySLO(sys.Eng.Now())
 	sum.Resilience = sys.resilienceSLO()
+	sum.ColdStart = sys.coldStartSLO()
 	return sum
 }
 

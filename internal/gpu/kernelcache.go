@@ -1,0 +1,61 @@
+package gpu
+
+// KernelCache models a node-local cache of compiled GPU-kernel
+// artifacts (the GKM mechanism): once a function's kernels have been
+// JIT-compiled on a node, a relaunch of that function on the same node
+// skips — or shrinks — the kernel-JIT stage of its cold start.
+//
+// The cache is a deterministic LRU over function names: entries are
+// refreshed on Note and evicted in least-recently-noted order when the
+// capacity bound is exceeded. Determinism matters because cache state
+// feeds scheduler tie-breaking and cold-start durations, both of which
+// must reproduce byte-identical manifests at any worker count — so the
+// recency order lives in a slice, never a map iteration.
+type KernelCache struct {
+	cap   int
+	index map[string]int // function -> position in order
+	order []string       // least-recently-noted first
+}
+
+// NewKernelCache builds a cache bounded to capacity entries
+// (capacity <= 0 means unbounded).
+func NewKernelCache(capacity int) *KernelCache {
+	return &KernelCache{cap: capacity, index: make(map[string]int)}
+}
+
+// Warm reports whether the node has compiled kernels for the function.
+// Read-only: recency and eviction state are untouched, so schedulers
+// may probe freely while breaking placement ties.
+func (c *KernelCache) Warm(fn string) bool {
+	_, ok := c.index[fn]
+	return ok
+}
+
+// Note records that the function's kernels are now compiled on this
+// node, refreshing its recency and evicting the least-recently-noted
+// entry if the capacity bound is exceeded.
+func (c *KernelCache) Note(fn string) {
+	if pos, ok := c.index[fn]; ok {
+		// Refresh: move to most-recent by shifting the tail down.
+		copy(c.order[pos:], c.order[pos+1:])
+		c.order[len(c.order)-1] = fn
+		for i := pos; i < len(c.order); i++ {
+			c.index[c.order[i]] = i
+		}
+		return
+	}
+	c.order = append(c.order, fn)
+	c.index[fn] = len(c.order) - 1
+	if c.cap > 0 && len(c.order) > c.cap {
+		victim := c.order[0]
+		copy(c.order, c.order[1:])
+		c.order = c.order[:len(c.order)-1]
+		delete(c.index, victim)
+		for i, f := range c.order {
+			c.index[f] = i
+		}
+	}
+}
+
+// Len returns the number of cached functions.
+func (c *KernelCache) Len() int { return len(c.order) }

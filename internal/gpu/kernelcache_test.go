@@ -1,0 +1,51 @@
+package gpu
+
+import "testing"
+
+func TestKernelCacheLRU(t *testing.T) {
+	c := NewKernelCache(2)
+	if c.Warm("a") {
+		t.Fatal("empty cache reported warm")
+	}
+	c.Note("a")
+	c.Note("b")
+	if !c.Warm("a") || !c.Warm("b") || c.Len() != 2 {
+		t.Fatalf("expected a,b warm; len=%d", c.Len())
+	}
+	// Refresh a, then insert c: b is now least-recently-noted and evicted.
+	c.Note("a")
+	c.Note("c")
+	if c.Warm("b") {
+		t.Fatal("refreshed entry was evicted instead of LRU victim")
+	}
+	if !c.Warm("a") || !c.Warm("c") || c.Len() != 2 {
+		t.Fatalf("expected a,c warm after eviction; len=%d", c.Len())
+	}
+	// Warm is read-only: probing must not refresh recency, so after two
+	// probes of "a" the recency order is still a (oldest), c — and
+	// inserting d evicts a.
+	c.Warm("a")
+	_ = c.Warm("a")
+	c.Note("d")
+	if c.Warm("a") {
+		t.Fatal("Warm probe refreshed recency: a should have been evicted")
+	}
+	if !c.Warm("c") || !c.Warm("d") {
+		t.Fatal("expected c,d warm")
+	}
+}
+
+func TestKernelCacheUnbounded(t *testing.T) {
+	c := NewKernelCache(0)
+	for _, fn := range []string{"a", "b", "c", "d", "e"} {
+		c.Note(fn)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("unbounded cache evicted: len=%d", c.Len())
+	}
+	// Re-noting is idempotent on size.
+	c.Note("c")
+	if c.Len() != 5 {
+		t.Fatalf("re-note changed size: len=%d", c.Len())
+	}
+}

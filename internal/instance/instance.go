@@ -43,6 +43,12 @@ type Request struct {
 	// zero on every request when resilience is off.
 	Attempt int
 	Hedge   bool
+
+	// ColdStage is the cold-start stage on this request's critical path,
+	// stamped by the serving plane when a launch's activation flush
+	// dispatches it (ColdNone when it never waited for a launch). The
+	// recorder only counts it when stage tracking is armed.
+	ColdStage metrics.ColdStage
 }
 
 // Stage couples one GPU execution context with its RCKM client. Single-
@@ -299,7 +305,7 @@ func (in *Inference) PostTick(now sim.Time) {
 			lat = lat / sim.Duration(in.Spec.AvgOutTokens) // time per output token
 		}
 		if in.Rec != nil {
-			in.Rec.ObserveWait(lat, req.Dispatch-req.Arrive)
+			in.Rec.ObserveWaitStage(lat, req.Dispatch-req.Arrive, req.ColdStage)
 		}
 		in.served++
 	}

@@ -12,6 +12,34 @@ import (
 	"dilu/internal/sim"
 )
 
+// ColdStage identifies the cold-start stage that was on a request's
+// critical path: the stage of the launch window the request's wait
+// overlapped the most (ColdNone when no launch was on the path — a
+// warm-queueing wait, or no wait at all).
+type ColdStage uint8
+
+// Cold-start stage identifiers, in execution order.
+const (
+	ColdNone      ColdStage = iota // no cold start on the request's path
+	ColdImageInit                  // container image pull + runtime init
+	ColdModelLoad                  // parameter load
+	ColdKernelJIT                  // GPU-kernel JIT / graph capture
+)
+
+// String names the stage for tables and error messages.
+func (s ColdStage) String() string {
+	switch s {
+	case ColdImageInit:
+		return "image_init"
+	case ColdModelLoad:
+		return "model_load"
+	case ColdKernelJIT:
+		return "kernel_jit"
+	default:
+		return "none"
+	}
+}
+
 // LatencyRecorder accumulates request latencies for one function and
 // derives the paper's inference metrics: p50/p95/p99 latency and SLO
 // violation rate (SVR), plus the goodput/attribution accounting of the
@@ -29,11 +57,19 @@ type LatencyRecorder struct {
 	// one-sort-per-epoch contract.
 	sorted bool
 	sorts  int
-	// violations counts samples above the SLO; coldViolations is the
-	// subset whose request waited at the gateway for an instance — the
-	// cold-start/scale-out path — before being dispatched.
+	// violations counts samples above the SLO; waitViolations is the
+	// legacy attribution — the subset whose request waited at the
+	// gateway before dispatch, regardless of whether a launch was on its
+	// path. It keeps pre-stage-model manifest bytes stable.
 	violations     int
-	coldViolations int
+	waitViolations int
+	// trackStages arms the precise cold-on-path attribution: per-stage
+	// violation counters plus the warm-queue bucket (waited, but no
+	// launch on the path). Off by default so recorders on the legacy
+	// path never count — the omitempty manifest fields must stay zero.
+	trackStages         bool
+	stageViolations     [4]int // indexed by ColdStage; [ColdNone] unused
+	warmQueueViolations int
 }
 
 // NewLatencyRecorder creates a recorder for a function with the given SLO.
@@ -59,17 +95,42 @@ func (r *LatencyRecorder) SLO() sim.Duration { return r.slo }
 func (r *LatencyRecorder) Observe(latency sim.Duration) { r.ObserveWait(latency, 0) }
 
 // ObserveWait records one request latency together with the time the
-// request spent waiting at the gateway for an instance (zero when it was
-// dispatched on arrival). A violating sample with a positive wait is
-// attributed to the cold-start path: the request queued because no
-// active instance could take it.
+// request spent waiting at the gateway for an instance (zero when it
+// was dispatched on arrival), with no cold-stage attribution.
 func (r *LatencyRecorder) ObserveWait(latency, wait sim.Duration) {
+	r.ObserveWaitStage(latency, wait, ColdNone)
+}
+
+// SetColdStageTracking arms (or disarms) per-stage attribution. The
+// serving plane sets it when the staged cold-start model or prewarming
+// is configured; recorders on the legacy path leave it off so the
+// omitempty stage counters stay zero in manifests.
+func (r *LatencyRecorder) SetColdStageTracking(on bool) { r.trackStages = on }
+
+// ObserveWaitStage records one request latency, its gateway wait, and
+// the cold-start stage on its critical path (ColdNone when the request
+// waited for an already-launching-free reason or not at all).
+//
+// Violation attribution is two-tier. The legacy counter keeps the
+// historical wait>0 heuristic unconditionally — fault-free manifests
+// depend on its bytes. When stage tracking is armed, a violating
+// sample is additionally attributed precisely: to the stage actually
+// on its path, or to the warm-queue bucket when it waited with no
+// launch on the path.
+func (r *LatencyRecorder) ObserveWaitStage(latency, wait sim.Duration, stage ColdStage) {
 	r.samples = append(r.samples, latency)
 	r.sorted = false
 	if r.slo > 0 && latency > r.slo {
 		r.violations++
 		if wait > 0 {
-			r.coldViolations++
+			r.waitViolations++
+		}
+		if r.trackStages {
+			if stage != ColdNone {
+				r.stageViolations[stage]++
+			} else if wait > 0 {
+				r.warmQueueViolations++
+			}
 		}
 	}
 }
@@ -80,9 +141,32 @@ func (r *LatencyRecorder) Count() int { return len(r.samples) }
 // Violations returns the number of SLO-violating samples.
 func (r *LatencyRecorder) Violations() int { return r.violations }
 
-// ColdStartViolations returns the violating samples attributed to a
-// gateway wait (the cold-start/scale-out path).
-func (r *LatencyRecorder) ColdStartViolations() int { return r.coldViolations }
+// ColdStartViolations returns the violating samples attributed to the
+// cold-start path. With stage tracking armed it is the precise count —
+// violations with a launch stage on the critical path; otherwise it
+// falls back to the legacy wait>0 heuristic (which also sweeps in
+// warm-queueing waits, the PR-3 misattribution this split fixes).
+func (r *LatencyRecorder) ColdStartViolations() int {
+	if r.trackStages {
+		return r.stageViolations[ColdImageInit] +
+			r.stageViolations[ColdModelLoad] +
+			r.stageViolations[ColdKernelJIT]
+	}
+	return r.waitViolations
+}
+
+// StageViolations returns the violating samples whose critical path ran
+// through the given cold-start stage. Zero unless stage tracking is
+// armed; ColdNone always reports zero (see WarmQueueViolations).
+func (r *LatencyRecorder) StageViolations(stage ColdStage) int {
+	return r.stageViolations[stage]
+}
+
+// WarmQueueViolations returns the violating samples that waited at the
+// gateway with no launch on their critical path — warm queueing,
+// redispatch after churn, retry/hedge waits. Zero unless stage
+// tracking is armed.
+func (r *LatencyRecorder) WarmQueueViolations() int { return r.warmQueueViolations }
 
 // Goodput returns the number of samples that met the SLO. With no SLO
 // configured every sample counts as goodput.
@@ -106,8 +190,9 @@ func (r *LatencyRecorder) ensureSorted() {
 	}
 }
 
-// Percentile returns the p-th percentile latency (p in [0,100]) using
-// nearest-rank interpolation; zero when empty.
+// Percentile returns the p-th percentile latency (p in [0,100]) by
+// linear interpolation between the two nearest ranks (the "exclusive"
+// quantile convention, rank = p/100·(n−1)); zero when empty.
 func (r *LatencyRecorder) Percentile(p float64) sim.Duration {
 	if len(r.samples) == 0 {
 		return 0
@@ -159,12 +244,17 @@ func (r *LatencyRecorder) Max() sim.Duration {
 	return r.samples[len(r.samples)-1]
 }
 
-// Reset discards all samples.
+// Reset discards all samples and counters, including the sort-epoch
+// counter, so a reused recorder starts a fresh one-sort-per-epoch
+// regime (tracking arming survives — it is configuration, not state).
 func (r *LatencyRecorder) Reset() {
 	r.samples = r.samples[:0]
 	r.violations = 0
-	r.coldViolations = 0
+	r.waitViolations = 0
+	r.stageViolations = [4]int{}
+	r.warmQueueViolations = 0
 	r.sorted = true
+	r.sorts = 0
 }
 
 func (r *LatencyRecorder) String() string {

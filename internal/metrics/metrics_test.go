@@ -39,17 +39,74 @@ func TestLatencyOneSortPerMutationEpoch(t *testing.T) {
 	if r.sorts != 2 {
 		t.Fatalf("unchanged samples re-sorted: %d sorts", r.sorts)
 	}
-	// Reset leaves an empty-but-sorted recorder; the next reads must not
-	// sort until something is observed.
+	// Reset zeroes the epoch counter and leaves an empty-but-sorted
+	// recorder; the next reads must not sort until something is
+	// observed, and the reused recorder starts counting from scratch.
 	r.Reset()
 	r.P95()
-	if r.sorts != 2 {
-		t.Fatalf("reset recorder sorted an empty slice: %d sorts", r.sorts)
+	if r.sorts != 0 {
+		t.Fatalf("reset recorder kept/spent sorts: %d, want 0", r.sorts)
 	}
 	r.Observe(3 * sim.Millisecond)
 	r.P95()
-	if r.sorts != 3 {
-		t.Fatalf("post-reset epoch: %d sorts, want 3", r.sorts)
+	if r.sorts != 1 {
+		t.Fatalf("post-reset epoch: %d sorts, want exactly 1", r.sorts)
+	}
+}
+
+// TestColdStageAttribution pins the two-tier attribution: the legacy
+// wait>0 counter is unconditional (manifest bytes), while the per-stage
+// and warm-queue counters only move when tracking is armed, and
+// ColdStartViolations switches from the heuristic to the precise sum.
+func TestColdStageAttribution(t *testing.T) {
+	slo := 10 * sim.Millisecond
+	viol := 50 * sim.Millisecond
+
+	// Untracked recorder: stage markers are ignored, heuristic rules.
+	r := NewLatencyRecorder("legacy", slo)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdModelLoad)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdNone) // warm queue
+	r.ObserveWaitStage(viol, 0, ColdNone)                 // pure exec violation
+	if got := r.ColdStartViolations(); got != 2 {
+		t.Fatalf("legacy ColdStartViolations = %d, want 2 (wait>0 heuristic)", got)
+	}
+	for st := ColdImageInit; st <= ColdKernelJIT; st++ {
+		if r.StageViolations(st) != 0 {
+			t.Fatalf("untracked recorder counted stage %v", st)
+		}
+	}
+	if r.WarmQueueViolations() != 0 {
+		t.Fatal("untracked recorder counted warm-queue violations")
+	}
+
+	// Tracked recorder: precise attribution.
+	r = NewLatencyRecorder("staged", slo)
+	r.SetColdStageTracking(true)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdImageInit)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdModelLoad)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdModelLoad)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdKernelJIT)
+	r.ObserveWaitStage(viol, 5*sim.Millisecond, ColdNone)                 // warm queue
+	r.ObserveWaitStage(viol, 0, ColdNone)                                 // pure exec violation
+	r.ObserveWaitStage(sim.Millisecond, 5*sim.Millisecond, ColdModelLoad) // met SLO
+	if got := r.ColdStartViolations(); got != 4 {
+		t.Fatalf("tracked ColdStartViolations = %d, want 4 (stage sum)", got)
+	}
+	if r.StageViolations(ColdImageInit) != 1 || r.StageViolations(ColdModelLoad) != 2 ||
+		r.StageViolations(ColdKernelJIT) != 1 {
+		t.Fatalf("stage violations = %d/%d/%d, want 1/2/1",
+			r.StageViolations(ColdImageInit), r.StageViolations(ColdModelLoad),
+			r.StageViolations(ColdKernelJIT))
+	}
+	if got := r.WarmQueueViolations(); got != 1 {
+		t.Fatalf("WarmQueueViolations = %d, want 1", got)
+	}
+	if got := r.Violations(); got != 6 {
+		t.Fatalf("Violations = %d, want 6", got)
+	}
+	r.Reset()
+	if r.ColdStartViolations() != 0 || r.WarmQueueViolations() != 0 {
+		t.Fatal("Reset left attribution counters non-zero")
 	}
 }
 

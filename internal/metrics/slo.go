@@ -21,9 +21,19 @@ type SLOFuncStats struct {
 	SLOMillis float64 `json:"slo_ms"`
 	Requests  int64   `json:"requests"`
 	// Violations counts requests over the SLO; ColdStartViolations is
-	// the subset attributed to a gateway wait for an instance.
+	// the subset attributed to the cold-start path — under the staged
+	// model, violations with a launch stage on the critical path;
+	// otherwise the legacy wait>0 heuristic.
 	Violations          int64 `json:"violations"`
 	ColdStartViolations int64 `json:"cold_start_violations"`
+	// Per-stage attribution (staged cold-start model only): which launch
+	// phase was on the violating request's critical path, with waits
+	// that had no launch on the path split out as warm queueing. All
+	// omitempty — zero (hence absent) on the legacy path.
+	ImageInitViolations int64 `json:"image_init_violations,omitempty"`
+	ModelLoadViolations int64 `json:"model_load_violations,omitempty"`
+	KernelJITViolations int64 `json:"kernel_jit_violations,omitempty"`
+	WarmQueueViolations int64 `json:"warm_queue_violations,omitempty"`
 	// GoodputRPS is SLO-met requests per second of horizon.
 	GoodputRPS float64 `json:"goodput_rps"`
 	P95Millis  float64 `json:"p95_ms"`
@@ -99,6 +109,40 @@ type ResilienceSLO struct {
 	QuarantineMigrations int64 `json:"quarantine_migrations,omitempty"`
 }
 
+// ColdStartSLO is the staged cold-start block of a run summary:
+// per-stage violation attribution summed over functions, warm-queue
+// waits split out, kernel-cache effectiveness, and prewarming activity.
+// Present only on runs with the stage model or prewarming configured;
+// every column is omitempty so partial activity keeps minimal bytes.
+type ColdStartSLO struct {
+	ImageInitViolations int64 `json:"image_init_violations,omitempty"`
+	ModelLoadViolations int64 `json:"model_load_violations,omitempty"`
+	KernelJITViolations int64 `json:"kernel_jit_violations,omitempty"`
+	WarmQueueViolations int64 `json:"warm_queue_violations,omitempty"`
+	// KernelCacheHits/Misses count cold launches that found (or missed)
+	// every target node's kernel cache warm; a hit shrinks the JIT stage.
+	KernelCacheHits   int64 `json:"kernel_cache_hits,omitempty"`
+	KernelCacheMisses int64 `json:"kernel_cache_misses,omitempty"`
+	// PrewarmLaunches counts cold launches initiated ahead of demand by
+	// the prewarming policy — their cold starts are paid off the request
+	// path.
+	PrewarmLaunches int64 `json:"prewarm_launches,omitempty"`
+	// ColdLaunches / ColdMillisTotal are the run's cold-launch count and
+	// total cold-start wall clock actually paid (cache shortening
+	// included), so drivers can report mean effective cold-start time.
+	ColdLaunches    int64   `json:"cold_launches,omitempty"`
+	ColdMillisTotal float64 `json:"cold_ms_total,omitempty"`
+}
+
+// MeanColdMillis returns the mean effective cold-start duration paid
+// per cold launch, in milliseconds.
+func (c *ColdStartSLO) MeanColdMillis() float64 {
+	if c.ColdLaunches == 0 {
+		return 0
+	}
+	return c.ColdMillisTotal / float64(c.ColdLaunches)
+}
+
 // SLOSummary rolls per-function SLO accounting up to one run.
 type SLOSummary struct {
 	Funcs []SLOFuncStats `json:"funcs,omitempty"`
@@ -110,6 +154,10 @@ type SLOSummary struct {
 	// Resilience is the gray-failure/mitigation roll-up; nil for runs
 	// that never injected a fault nor enabled retry/hedge/quarantine.
 	Resilience *ResilienceSLO `json:"resilience,omitempty"`
+
+	// ColdStart is the staged cold-start roll-up; nil for runs on the
+	// legacy scalar cold-start path.
+	ColdStart *ColdStartSLO `json:"cold_start,omitempty"`
 
 	Requests            int64 `json:"requests"`
 	Violations          int64 `json:"violations"`
@@ -131,7 +179,9 @@ func (s *SLOSummary) ViolationRate() float64 {
 }
 
 // ColdStartShare returns the fraction of violations attributed to the
-// cold-start path.
+// cold-start path. Under the staged model this means a launch stage
+// was on the violating request's critical path; on the legacy path it
+// is the wait>0 heuristic, which also sweeps in warm-queueing waits.
 func (s *SLOSummary) ColdStartShare() float64 {
 	if s.Violations == 0 {
 		return 0
@@ -164,6 +214,10 @@ func SummarizeSLO(horizon sim.Duration, recs ...*LatencyRecorder) *SLOSummary {
 			Requests:            int64(r.Count()),
 			Violations:          int64(r.Violations()),
 			ColdStartViolations: int64(r.ColdStartViolations()),
+			ImageInitViolations: int64(r.StageViolations(ColdImageInit)),
+			ModelLoadViolations: int64(r.StageViolations(ColdModelLoad)),
+			KernelJITViolations: int64(r.StageViolations(ColdKernelJIT)),
+			WarmQueueViolations: int64(r.WarmQueueViolations()),
 			P95Millis:           r.P95().Millis(),
 			P99Millis:           r.P99().Millis(),
 		}

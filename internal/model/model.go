@@ -206,12 +206,49 @@ func (s *Spec) TrainIdleFraction(smr float64) float64 {
 	return float64(s.TrainSync) / float64(t)
 }
 
+// ColdStartStages decomposes an instance cold start into its three
+// serially-executed phases. The serving plane charges each phase
+// against the wall clock in order; attribution (which phase was on a
+// request's critical path) and shortening (a node-local kernel cache
+// skipping JIT) both operate on this decomposition.
+type ColdStartStages struct {
+	ImageInit sim.Duration // container image pull + runtime/driver init
+	ModelLoad sim.Duration // parameter load over PCIe-class bandwidth
+	KernelJIT sim.Duration // GPU-kernel JIT / graph capture on first touch
+}
+
+// Total is the wall-clock cold-start duration: the stages run serially.
+func (st ColdStartStages) Total() sim.Duration {
+	return st.ImageInit + st.ModelLoad + st.KernelJIT
+}
+
+// Cold-start decomposition constants. ImageInit+KernelJIT must sum to
+// the pre-stage-model scalar's 2 s container-init term exactly (integer
+// nanoseconds), so ColdStartStages().Total() == the historical
+// ColdStart() for every spec — the byte-identity of all pre-stage
+// driver manifests depends on it.
+const (
+	coldImageInit = 3 * sim.Second / 2 // 1.5 s: image pull + runtime init
+	coldKernelJIT = sim.Second / 2     // 0.5 s: kernel JIT / graph capture
+	coldLoadGBps  = 1.5                // PCIe-class parameter-load bandwidth
+)
+
+// ColdStartStages returns the default cold-start decomposition:
+// fixed-cost image/runtime init, size-proportional parameter load, and
+// fixed-cost kernel JIT. The parts sum exactly to ColdStart().
+func (s *Spec) ColdStartStages() ColdStartStages {
+	return ColdStartStages{
+		ImageInit: coldImageInit,
+		ModelLoad: sim.FromSeconds(s.ParamsGB / coldLoadGBps),
+		KernelJIT: coldKernelJIT,
+	}
+}
+
 // ColdStart returns the instance cold-start duration: container and
-// runtime init plus loading parameters over PCIe-class bandwidth.
+// runtime init plus loading parameters over PCIe-class bandwidth plus
+// kernel JIT — the sum of ColdStartStages.
 func (s *Spec) ColdStart() sim.Duration {
-	const containerInit = 2 * sim.Second
-	const loadGBps = 1.5
-	return containerInit + sim.FromSeconds(s.ParamsGB/loadGBps)
+	return s.ColdStartStages().Total()
 }
 
 func (s *Spec) String() string { return fmt.Sprintf("%s(%s)", s.Name, s.Family) }

@@ -235,3 +235,24 @@ func TestBatchWorkMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The staged cold-start decomposition must sum exactly (integer
+// nanoseconds, not approximately) to the historical scalar formula for
+// every catalog model: pre-stage driver manifests are byte-identical
+// only if the default stage total is the same int64 the old
+// ColdStart() returned.
+func TestColdStartStagesSumExact(t *testing.T) {
+	for _, m := range All() {
+		st := m.ColdStartStages()
+		legacy := 2*sim.Second + sim.FromSeconds(m.ParamsGB/1.5)
+		if got := st.Total(); got != legacy {
+			t.Errorf("%s: stages total %v != legacy scalar %v", m.Name, got, legacy)
+		}
+		if got := m.ColdStart(); got != st.Total() {
+			t.Errorf("%s: ColdStart %v != stages total %v", m.Name, got, st.Total())
+		}
+		if st.ImageInit <= 0 || st.ModelLoad < 0 || st.KernelJIT <= 0 {
+			t.Errorf("%s: non-positive stage in %+v", m.Name, st)
+		}
+	}
+}

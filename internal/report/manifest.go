@@ -83,6 +83,12 @@ type SLOBlock struct {
 	// mitigation attribution); omitted for fault-free runs so pre-fault
 	// manifests keep their bytes.
 	Resilience *metrics.ResilienceSLO `json:"resilience,omitempty"`
+
+	// ColdStart is the staged cold-start roll-up (per-stage violation
+	// attribution, kernel-cache hits, prewarm launches); omitted for
+	// runs on the legacy scalar cold-start path so pre-stage manifests
+	// keep their bytes.
+	ColdStart *metrics.ColdStartSLO `json:"cold_start,omitempty"`
 }
 
 // SLOBlockOf compresses a summary into the manifest block; nil in, nil out.
@@ -99,6 +105,7 @@ func SLOBlockOf(s *metrics.SLOSummary) *SLOBlock {
 		P99Attainment:       s.P99Attainment,
 		Gateway:             s.Gateway,
 		Resilience:          s.Resilience,
+		ColdStart:           s.ColdStart,
 	}
 }
 

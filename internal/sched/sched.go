@@ -134,6 +134,13 @@ type Options struct {
 	// memory is dropped from the score and multi-GPU LLM deployment
 	// falls back to whole fresh GPUs.
 	DisableComplementary bool
+	// KernelCacheAffinity breaks fragmentation-score ties toward GPUs
+	// whose node's kernel cache is warm for the function, so a relaunch
+	// lands where its JIT artifacts already live and the cold start
+	// shrinks. Ties only — the score itself is untouched, and with the
+	// staged cold-start model disabled every node is cold, so the
+	// refinement is inert and selection stays bit-identical.
+	KernelCacheAffinity bool
 }
 
 func (o Options) withDefaults() Options {
@@ -441,6 +448,7 @@ func (s *Dilu) affinityGPUs(fn string) []*cluster.GPU {
 // recreates the contention the affinity principle avoids).
 func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string) *cluster.GPU {
 	bestScore := 1e18
+	bestCold := 2
 	var best *cluster.GPU
 	for _, g := range cands {
 		if !g.Schedulable() {
@@ -464,12 +472,27 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 		if g.HostsFunc(fn) {
 			score += 0.5
 		}
-		if score < bestScore {
-			bestScore = score
-			best = g
+		// Lexicographic argmin of (score, kernel-cache coldness) with
+		// scan order breaking full ties — identical to the plain argmin
+		// unless cache affinity is on and a node cache is warm.
+		cold := s.cacheCold(g, fn)
+		if score < bestScore || (score == bestScore && cold < bestCold) {
+			bestScore, bestCold, best = score, cold, g
 		}
 	}
 	return best
+}
+
+// cacheCold is the kernel-cache tie-break key: 0 when the GPU's node
+// holds compiled kernels for fn and cache affinity is enabled, 1
+// otherwise — so warmer nodes win score ties. With affinity off (or no
+// cache configured) every GPU keys 1 and the tie-break degenerates to
+// the historical scan/position order.
+func (s *Dilu) cacheCold(g *cluster.GPU, fn string) int {
+	if s.opts.KernelCacheAffinity && g.Node != nil && g.Node.KernelsWarm(fn) {
+		return 0
+	}
+	return 1
 }
 
 // selectOptGPUActive is selectOptGPU over the whole active set, served
@@ -481,12 +504,15 @@ func (s *Dilu) selectOptGPU(cands []*cluster.GPU, p profiler.Profile, fn string)
 //
 // Equivalence with selectOptGPU(ActiveGPUs()): that scan takes the
 // first (inventory-order) candidate achieving the minimum score, i.e.
-// the lexicographic argmin of (score, Pos). Bucket order is arbitrary,
-// so the same argmin is computed explicitly; and since the SM term
-// alone satisfies score ≥ α·(1 − (util + req/cap)) ≥ α·(1 − (ub +
-// req/min-cap)) — the memory term and the same-function penalty are
-// non-negative — a bucket bound strictly above bestScore proves no
-// remaining candidate can beat *or tie* it.
+// the lexicographic argmin of (score, cacheCold, Pos) — the cache-
+// coldness key degenerates to a constant unless kernel-cache affinity
+// is enabled. Bucket order is arbitrary, so the same argmin is computed
+// explicitly; and since the SM term alone satisfies score ≥ α·(1 −
+// (util + req/cap)) ≥ α·(1 − (ub + req/min-cap)) — the memory term and
+// the same-function penalty are non-negative — a bucket bound strictly
+// above bestScore proves no remaining candidate can beat *or tie* it
+// (the break fires only on strict >, so equal-score candidates that
+// could win the coldness/position tie-break are still scanned).
 func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
 	// Buckets whose normalized-utilization lower bound already breaks Ω
 	// for even the largest-capacity GPU hold no feasible candidate;
@@ -498,6 +524,7 @@ func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
 	}
 	start := cluster.OccupancyBucketOf(headroom)
 	bestScore := 1e18
+	bestCold := 2
 	bestPos := -1
 	var best *cluster.GPU
 	// The posting index answers "does any GPU host fn" once, up front:
@@ -539,8 +566,10 @@ func (s *Dilu) selectOptGPUActive(p profiler.Profile, fn string) *cluster.GPU {
 			if hosts {
 				score += 0.5
 			}
-			if score < bestScore || (score == bestScore && g.Pos() < bestPos) {
-				bestScore, bestPos, best = score, g.Pos(), g
+			cold := s.cacheCold(g, fn)
+			if score < bestScore || (score == bestScore &&
+				(cold < bestCold || (cold == bestCold && g.Pos() < bestPos))) {
+				bestScore, bestCold, bestPos, best = score, cold, g.Pos(), g
 			}
 		}
 	}

@@ -160,6 +160,12 @@ func ParseTraceCSV(label string, r io.Reader) (*Trace, error) {
 			}
 			return nil, fmt.Errorf("workload: %s:%d: bad timestamp %q: %v", label, line, sec, err)
 		}
+		if v < 0 {
+			// Row-numbered, like every other parse error: normalize()
+			// would also reject it, but only with a trace-level message
+			// that leaves the offending row to a manual hunt.
+			return nil, fmt.Errorf("workload: %s:%d: negative timestamp %q", label, line, sec)
+		}
 		tr.Events = append(tr.Events, TraceEvent{At: sim.FromSeconds(v), Func: fn})
 	}
 	if err := sc.Err(); err != nil {
