@@ -6,6 +6,7 @@
 package dilu
 
 import (
+	"runtime"
 	"testing"
 
 	"dilu/internal/core"
@@ -135,6 +136,36 @@ func BenchmarkHyperscalePlacement(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if placed := experiments.ScheduleBatchOn(bc.nodes, bc.inst, 1); placed < bc.inst*9/10 {
 					b.Fatalf("placed only %d/%d instances", placed, bc.inst)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedHyperscale pins the sharded placement kernel on the
+// 40k-GPU / 32k-instance hyperscale batch: shards=1 takes the serial
+// scan paths, shards=all partitions the cluster across every core and
+// fans the candidate scans out on the fork-join pool. Placements are
+// bit-identical between the two (the shard-equivalence differentials
+// guard that); the ratio of the two timings is the parallel speedup on
+// the machine at hand. On a single-core host the two arms coincide —
+// the gate then guards the sharded dispatch overhead instead.
+func BenchmarkShardedHyperscale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("hyperscale sizes are excluded from the short/CI bench sweep")
+	}
+	const nodes, inst = 10000, 32000
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=all", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if placed := experiments.ScheduleBatchShardedOn(nodes, inst, 1, bc.shards); placed < inst*9/10 {
+					b.Fatalf("placed only %d/%d instances", placed, inst)
 				}
 			}
 		})

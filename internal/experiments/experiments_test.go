@@ -59,14 +59,14 @@ func TestEveryDriverDeclaresATier(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 31 {
-		t.Fatalf("registry has %d drivers, want 31", len(all))
+	if len(all) != 32 {
+		t.Fatalf("registry has %d drivers, want 32", len(all))
 	}
 	want := []string{"figure2", "figure2cd", "table2", "figure4", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "table3",
 		"figure13", "figure14", "figure15", "figure16", "figure17", "figure18",
 		"ablation-controller", "slo_sweep", "trace_replay", "tenant_mix",
-		"hyperscale", "hetero_mix", "churn_recovery", "rolling_drain",
+		"hyperscale", "hyperscale_max", "hetero_mix", "churn_recovery", "rolling_drain",
 		"overload_shed", "tenant_fairness", "gray_failure", "straggler_tail",
 		"coldstart_stages", "prewarm_policy"}
 	for i, id := range want {

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"dilu/internal/report"
+)
+
+// The sharded replay's whole contract is byte-identity: a driver run at
+// Shards=N must render the same report — and therefore the same manifest
+// fingerprint — as the serial run, for every N. This exercises the full
+// stack (ShardedEngine windows, mailbox delivery order, sharded cluster
+// indexes, parallel candidate scans) through the real drivers.
+func checkShardInvariance(t *testing.T, id string, shardCounts ...int) {
+	t.Helper()
+	d, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := d.Run(testOpts())
+	want := serial.String()
+	wantFP := report.Fingerprint(serial)
+	for _, n := range shardCounts {
+		o := testOpts()
+		o.Shards = n
+		rep := d.Run(o)
+		if got := rep.String(); got != want {
+			t.Fatalf("%s: shards=%d report differs from serial\nserial:\n%s\nsharded:\n%s",
+				id, n, want, got)
+		}
+		if fp := report.Fingerprint(rep); fp != wantFP {
+			t.Fatalf("%s: shards=%d fingerprint %s != serial %s", id, n, fp, wantFP)
+		}
+	}
+}
+
+func TestFigure17ShardInvariance(t *testing.T) {
+	checkShardInvariance(t, "figure17", 2, 4)
+}
+
+func TestHeteroMixShardInvariance(t *testing.T) {
+	checkShardInvariance(t, "hetero_mix", 2, 4)
+}
+
+func TestHyperscaleShardInvariance(t *testing.T) {
+	skipSlowTier(t, "hyperscale")
+	checkShardInvariance(t, "hyperscale", 4)
+}
+
+func TestHyperscaleMaxShardInvariance(t *testing.T) {
+	skipSlowTier(t, "hyperscale_max")
+	checkShardInvariance(t, "hyperscale_max", 4)
+}

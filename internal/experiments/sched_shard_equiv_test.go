@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+
+	"dilu/internal/cluster"
+	"dilu/internal/sched"
+	"dilu/internal/sim"
+)
+
+// Differential guard for the sharded candidate scans (sched/parallel.go):
+// the same §5.5 replay as sched_equiv_test.go, but the "new" side runs on
+// a position-sharded cluster with the fork-join pool attached while the
+// reference side is the ordinary serial scheduler on an unsharded twin.
+// Every decision must pick the same GPU — the sharded argmin merge is
+// required to be bit-exact, not just statistically equivalent. The arms
+// cover the homogeneous fleet, the 70/30 heterogeneous mix (which takes
+// the full-inventory multi-GPU scan), fail/drain/join churn (shard
+// re-bucketing under retirement and rejoin), and a nil-pool variant
+// (sharded dispatch, serial execution — isolates partition/merge logic
+// from the fork-join machinery).
+
+func shardedEquivCluster(t *testing.T, cfg cluster.Config, shards int) *cluster.Cluster {
+	t.Helper()
+	cfg.Shards = shards
+	return cluster.New(cfg)
+}
+
+func newShardedDilu(t *testing.T, cfg cluster.Config, shards int, pool *sim.Pool) *sched.Dilu {
+	t.Helper()
+	s := sched.NewDilu(shardedEquivCluster(t, cfg, shards), sched.Options{})
+	s.SetParallel(pool)
+	return s
+}
+
+func newShardedStatic(t *testing.T, cfg cluster.Config, shards int, pool *sim.Pool) *sched.Static {
+	t.Helper()
+	s := sched.NewINFlessL(shardedEquivCluster(t, cfg, shards))
+	s.SetParallel(pool)
+	return s
+}
+
+func homogEquivConfig() cluster.Config {
+	return cluster.Config{Nodes: 1000, GPUsPerNode: 4}
+}
+
+func TestDiluShardedScanEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquiv(t,
+		newShardedDilu(t, homogEquivConfig(), 4, pool),
+		sched.NewDilu(cluster.New(homogEquivConfig()), sched.Options{}))
+}
+
+func TestDiluShardedScanEquivalenceNilPool(t *testing.T) {
+	replayMixEquiv(t,
+		newShardedDilu(t, homogEquivConfig(), 3, nil),
+		sched.NewDilu(cluster.New(homogEquivConfig()), sched.Options{}))
+}
+
+func TestStaticShardedScanEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquiv(t,
+		newShardedStatic(t, homogEquivConfig(), 4, pool),
+		sched.NewINFlessL(cluster.New(homogEquivConfig())))
+}
+
+func TestDiluShardedHeteroEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquiv(t,
+		newShardedDilu(t, heteroEquivConfig(), 4, pool),
+		sched.NewDilu(cluster.New(heteroEquivConfig()), sched.Options{}))
+}
+
+func TestStaticShardedHeteroEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquiv(t,
+		newShardedStatic(t, heteroEquivConfig(), 4, pool),
+		sched.NewINFlessL(cluster.New(heteroEquivConfig())))
+}
+
+func TestDiluShardedChurnEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquivChurn(t,
+		newShardedDilu(t, homogEquivConfig(), 4, pool),
+		sched.NewDilu(cluster.New(homogEquivConfig()), sched.Options{}), true)
+}
+
+func TestDiluShardedHeteroChurnEquivalence(t *testing.T) {
+	pool := sim.NewPool(4)
+	defer pool.Close()
+	replayMixEquivChurn(t,
+		newShardedDilu(t, heteroEquivConfig(), 4, pool),
+		sched.NewDilu(cluster.New(heteroEquivConfig()), sched.Options{}), true)
+}

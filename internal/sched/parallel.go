@@ -1,0 +1,271 @@
+// Parallel sharded candidate scans. When the cluster is partitioned
+// into position-range shards (cluster.SetShards) the selection loops —
+// the dominant cost of hyperscale placement — fan out over the shards:
+// every worker computes its shard's lexicographic argmin (or top-k)
+// with exactly the serial per-candidate arithmetic, and the results are
+// merged under the same total order. Selection is bit-exact with the
+// serial scan because each comparison key ((score, cold, Pos) for Dilu,
+// (free, Pos) for Static, (moreFreeMem, Pos) for the worst-fit) is a
+// total order: an argmin distributes over any partition of the
+// candidate set, so sharding changes only who computes, never what is
+// chosen. The workers only read placement state and compact their own
+// shard's occupancy buckets (shard-local mutation), which is the
+// concurrency contract OccupancyBucketShard documents.
+package sched
+
+import (
+	"slices"
+
+	"dilu/internal/cluster"
+	"dilu/internal/profiler"
+	"dilu/internal/sim"
+)
+
+// shardBest is one shard's selection result for the Dilu active-set
+// argmin: the candidate minimizing (score, cold, pos), or g == nil when
+// the shard holds no feasible candidate.
+type shardBest struct {
+	score float64
+	cold  int
+	pos   int
+	g     *cluster.GPU
+}
+
+// better reports whether a ranks strictly before b in the (score, cold,
+// pos) lexicographic order — the exact comparison the serial scan
+// applies per candidate.
+func (a shardBest) better(b shardBest) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if a.cold != b.cold {
+		return a.cold < b.cold
+	}
+	return a.pos < b.pos
+}
+
+// SetParallel attaches a fork-join pool for sharded candidate scans.
+// The pool takes effect only when the scheduler's cluster is itself
+// sharded (SetShards > 1); a nil pool with a sharded cluster still
+// takes the sharded code path, serially — useful for differential
+// testing, since results are identical either way.
+func (s *Dilu) SetParallel(pool *sim.Pool) { s.pool = pool }
+
+// SetParallel attaches a fork-join pool for sharded candidate scans
+// (see Dilu.SetParallel).
+func (s *Static) SetParallel(pool *sim.Pool) { s.pool = pool }
+
+// selectOptGPUActiveSharded is selectOptGPUActive fanned out over the
+// cluster's shards: each worker runs the serial bucket walk restricted
+// to its shard's occupancy index (same start bound, same per-candidate
+// arithmetic, shard-local early termination — pruning only discards
+// candidates that lose to the shard's own best, which a fortiori lose
+// globally), and the shard argmins merge under (score, cold, pos).
+func (s *Dilu) selectOptGPUActiveSharded(p profiler.Profile, fn string) *cluster.GPU {
+	headroom := s.opts.Omega + 1e-9 - p.SMReq/s.clu.MaxCapacity()
+	if headroom < 0 {
+		return nil
+	}
+	start := cluster.OccupancyBucketOf(headroom)
+	hostsAny := len(s.clu.FuncGPUs(fn)) > 0
+	n := s.clu.ShardCount()
+	if cap(s.bestScratch) < n {
+		s.bestScratch = make([]shardBest, n)
+	}
+	bests := s.bestScratch[:n]
+	s.pool.ForkJoin(n, func(sh int) {
+		bests[sh] = s.scanShardOpt(sh, start, p, fn, hostsAny)
+	})
+	best := shardBest{score: 1e18, cold: 2, pos: -1}
+	for _, b := range bests {
+		if b.g != nil && b.better(best) {
+			best = b
+		}
+	}
+	return best.g
+}
+
+// scanShardOpt is the serial selectOptGPUActive bucket walk over one
+// shard's occupancy index.
+func (s *Dilu) scanShardOpt(sh, start int, p profiler.Profile, fn string, hostsAny bool) shardBest {
+	best := shardBest{score: 1e18, cold: 2, pos: -1}
+	for b := start; b >= 0; b-- {
+		if best.g != nil {
+			ub := float64(b+1) / cluster.OccupancyBuckets
+			if s.opts.Alpha*(1-(ub+p.SMReq/s.clu.MinCapacity())) > best.score {
+				break
+			}
+		}
+		for _, g := range s.clu.OccupancyBucketShard(sh, b) {
+			if !g.Schedulable() {
+				continue
+			}
+			newReq := g.SumReq + p.SMReq
+			newLim := g.SumLim + p.SMLim
+			newMem := g.MemUsedMB + p.MemMB
+			if newReq > s.opts.Omega*g.Capacity+1e-9 || newLim > s.opts.Gamma*g.Capacity+1e-9 || newMem > g.MemCapMB {
+				continue
+			}
+			hosts := hostsAny && g.HostsFunc(fn)
+			if hosts && p.Role == profiler.RoleTraining {
+				continue
+			}
+			score := s.opts.Alpha * (1 - newReq/g.Capacity)
+			if !s.opts.DisableComplementary {
+				score += s.opts.Beta * (1 - newMem/g.MemCapMB)
+			}
+			if hosts {
+				score += 0.5
+			}
+			if cand := (shardBest{score: score, cold: s.cacheCold(g, fn), pos: g.Pos(), g: g}); cand.better(best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// pickSharded is Static.pick's bucket walk fanned out over the shards:
+// each worker applies the serial walk — including the one-extra-bucket
+// rounding-collapse rule — to its own shard and the (free, pos) argmins
+// merge. The fresh-GPU fallback stays with the caller.
+func (s *Static) pickSharded(q, memMB float64) *cluster.GPU {
+	headroom := 1 + 1e-9 - q/s.clu.MaxCapacity()
+	if headroom < 0 {
+		return nil
+	}
+	start := cluster.OccupancyBucketOf(headroom)
+	n := s.clu.ShardCount()
+	if cap(s.bestScratch) < n {
+		s.bestScratch = make([]shardBest, n)
+	}
+	bests := s.bestScratch[:n]
+	s.pool.ForkJoin(n, func(sh int) {
+		bests[sh] = s.scanShardPick(sh, start, q, memMB)
+	})
+	var best *cluster.GPU
+	bestFree := 2.0
+	bestPos := -1
+	for _, b := range bests {
+		if b.g != nil && (b.score < bestFree || (b.score == bestFree && b.pos < bestPos)) {
+			best, bestFree, bestPos = b.g, b.score, b.pos
+		}
+	}
+	return best
+}
+
+// scanShardPick runs Static.pick's walk over one shard; the free share
+// rides shardBest.score.
+func (s *Static) scanShardPick(sh, start int, q, memMB float64) shardBest {
+	best := shardBest{score: 2.0, pos: -1}
+	stopBelow := -1
+	for b := start; b >= 0; b-- {
+		if best.g != nil && b < stopBelow {
+			break
+		}
+		for _, g := range s.clu.OccupancyBucketShard(sh, b) {
+			if !g.Schedulable() {
+				continue
+			}
+			if g.SumReq+q > g.Capacity+1e-9 || g.MemUsedMB+memMB > g.MemCapMB {
+				continue
+			}
+			free := 1 - g.Util()
+			if free < best.score || (free == best.score && g.Pos() < best.pos) {
+				best = shardBest{score: free, pos: g.Pos(), g: g}
+			}
+		}
+		if best.g != nil && stopBelow == -1 {
+			stopBelow = b - 1 // one more bucket: rounding-collapse ties
+		}
+	}
+	return best
+}
+
+// collectMultiCandsSharded gathers placeMultiGPU's candidate pool in
+// parallel: each worker filters its shard — the active-list segment on
+// single-class fleets, the full inventory range on heterogeneous ones —
+// and pre-selects its shard's worst-fit top `stages` (no smaller set
+// can contain the global top `stages`). The per-shard winners, plus the
+// caller's extra (inactive) candidates filtered serially, are merged
+// back into inventory order, so the caller's serial worst-fit selection
+// over the merged pool resolves free-memory ties toward earlier
+// positions exactly as the serial candidate list (built in inventory
+// order with inactives interleaved) does. Returns the merged pool and
+// the number of feasible shard-scanned GPUs (actives on single-class
+// fleets, all inventory on heterogeneous ones; extras are not counted —
+// the caller prices the interchangeable inactive supply itself).
+func (s *Dilu) collectMultiCandsSharded(feasible func(*cluster.GPU) bool, stages int, extra []*cluster.GPU) ([]multiCand, int) {
+	n := s.clu.ShardCount()
+	if cap(s.shardCands) < n {
+		s.shardCands = make([][]multiCand, n)
+	}
+	shardCands := s.shardCands[:n]
+	if cap(s.shardCounts) < n {
+		s.shardCounts = make([]int, n)
+	}
+	counts := s.shardCounts[:n]
+	hetero := s.clu.Heterogeneous()
+	s.pool.ForkJoin(n, func(sh int) {
+		cands := shardCands[sh][:0]
+		count := 0
+		if hetero {
+			lo, hi := s.clu.ShardRange(sh)
+			for _, g := range s.clu.GPUs()[lo:hi] {
+				if feasible(g) {
+					cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
+					count++
+				}
+			}
+		} else {
+			for _, g := range s.clu.ActiveRange(sh) {
+				if feasible(g) {
+					cands = append(cands, multiCand{g, g.MemCapMB - g.MemUsedMB})
+					count++
+				}
+			}
+		}
+		topKWorstFit(cands, stages)
+		if len(cands) > stages {
+			cands = cands[:stages]
+		}
+		shardCands[sh] = cands
+		counts[sh] = count
+	})
+	merged := s.candScratch[:0]
+	total := 0
+	for sh := 0; sh < n; sh++ {
+		merged = append(merged, shardCands[sh]...)
+		total += counts[sh]
+	}
+	for _, g := range extra {
+		if feasible(g) {
+			merged = append(merged, multiCand{g, g.MemCapMB - g.MemUsedMB})
+		}
+	}
+	// Back into inventory order: ties in the caller's worst-fit
+	// selection then fall toward earlier positions, like the serial
+	// candidate list (which is built in inventory order).
+	slices.SortFunc(merged, func(a, b multiCand) int { return a.g.Pos() - b.g.Pos() })
+	s.candScratch = merged
+	return merged, total
+}
+
+// topKWorstFit partially selection-sorts cands so the first k entries
+// are the worst-fit winners (most free memory first, ties toward the
+// earlier list position) — the same loop placeMultiGPU runs, stopped
+// at k.
+func topKWorstFit(cands []multiCand, k int) {
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if moreFreeMem(cands[j], cands[best]) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of reusable worker goroutines for fork-join
+// fan-out: ForkJoin(n, fn) runs fn(0..n-1) across the workers and
+// returns when every call has finished. The sharded engine uses one to
+// advance shard event queues concurrently within a barrier window, and
+// the sharded schedulers use one to fan candidate scans out over
+// cluster shards — both at a call rate (one fork-join per window or per
+// placement decision) where spawning fresh goroutines would dominate
+// the work being parallelized.
+//
+// A Pool never influences what the parallelized code computes — callers
+// contract that tasks touch disjoint state and that results are reduced
+// deterministically — so a 1-worker pool (or a nil *Pool) degenerates
+// to a plain serial loop with zero goroutine overhead and identical
+// results.
+type Pool struct {
+	workers int
+	work    chan poolTask
+	closed  sync.Once
+}
+
+type poolTask struct {
+	fn   func(int)
+	i    int
+	done *poolJoin
+}
+
+// poolJoin collects one ForkJoin's completions and the first panic.
+type poolJoin struct {
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	panic any
+}
+
+func (j *poolJoin) run(fn func(int), i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			if j.panic == nil {
+				j.panic = r
+			}
+			j.mu.Unlock()
+		}
+		j.wg.Done()
+	}()
+	fn(i)
+}
+
+// NewPool starts a pool of the given worker count; values <= 0 default
+// to GOMAXPROCS. Call Close when done with the pool to release the
+// worker goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		// The caller participates in every ForkJoin, so one fewer
+		// background worker saturates the requested width.
+		p.work = make(chan poolTask)
+		for w := 0; w < workers-1; w++ {
+			go func() {
+				for t := range p.work {
+					t.done.run(t.fn, t.i)
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForkJoin runs fn(0), …, fn(n-1) across the pool and returns when all
+// calls have completed. The calling goroutine executes tasks too, so a
+// ForkJoin never deadlocks waiting for a free worker. Task panics are
+// re-raised on the caller after every task has finished (first panic
+// wins), so a failed scan cannot leave workers running against a
+// half-unwound caller. On a nil or 1-worker pool the calls run inline,
+// in index order.
+func (p *Pool) ForkJoin(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	j := &poolJoin{}
+	j.wg.Add(n)
+	for i := 0; i < n-1; i++ {
+		p.work <- poolTask{fn: fn, i: i, done: j}
+	}
+	j.run(fn, n-1) // the caller takes the last task itself
+	j.wg.Wait()
+	if j.panic != nil {
+		panic(j.panic)
+	}
+}
+
+// Close releases the pool's worker goroutines. Idempotent; ForkJoin
+// must not be called after Close.
+func (p *Pool) Close() {
+	if p == nil || p.work == nil {
+		return
+	}
+	p.closed.Do(func() { close(p.work) })
+}

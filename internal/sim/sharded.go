@@ -1,0 +1,306 @@
+package sim
+
+import "slices"
+
+// DefaultWindow is the default conservative barrier window for a
+// ShardedEngine: long enough that barrier overhead amortizes across the
+// events inside a window, short enough that cross-shard mail (delivered
+// at the next barrier) keeps sub-second latency in virtual time.
+const DefaultWindow = 100 * Millisecond
+
+// Coordinator is the destination index addressing the coordinator in
+// Send: mail sent there executes serially at the next barrier, in
+// mailbox order, rather than being scheduled into a shard queue.
+const Coordinator = -1
+
+// mail is one cross-shard message awaiting delivery at a barrier. The
+// mailbox pops in (at, key, src, seq) order — the "(time, seq, shard)"
+// order of the design, with key as the sender's logical sequence
+// number and (src, seq) breaking remaining ties by sender identity and
+// per-sender send order. The order is total ((src, seq) is unique), so
+// delivery is reproducible at any shard count; senders that need tie
+// order itself to be shard-count-invariant supply a key that does not
+// depend on the sharding (e.g. a global event index).
+type mail struct {
+	at  Time
+	key uint64
+	src int
+	seq uint64
+	dst int
+	fn  func(Time)
+}
+
+func (a mail) less(b mail) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// ShardedEngine advances one simulation run as N shard Engines under a
+// conservative time-window barrier (classic conservative PDES): every
+// shard executes its own events and ticks freely inside the window
+// [T, T+Δ), then all shards synchronize, cross-shard mail is exchanged
+// through the deterministic mailbox, coordinator hooks run against the
+// merged state, and the next window opens. Within a window the shards
+// share no mutable state — each has its own heap, streams, tickers and
+// meter — so the windows may run on all cores (via a Pool) or serially
+// with bit-identical results.
+//
+// Determinism contract:
+//
+//   - Events registered through the ShardedEngine's Schedule /
+//     ScheduleSeries draw from one global sequence counter, so the
+//     merged pop order across shards — sort by (at, seq) — equals the
+//     order a single serial Engine would pop the same registrations.
+//   - Mail is delivered at barriers in (at, key, src, seq) order;
+//     coordinator-bound mail executes immediately in that order,
+//     shard-bound mail is scheduled into its destination with globally
+//     ascending sequence numbers.
+//   - Barrier hooks run after mail delivery, in registration order.
+//
+// What a shard may do inside a window: touch only its own state, and
+// call its Outbox to queue cross-shard interactions. Everything that
+// spans shards (scheduler placement against merged state, churn applied
+// cluster-wide, admission) belongs to the coordinator at barriers.
+type ShardedEngine struct {
+	shards []*Engine
+	meters []*Meter // one per shard; merged into the aggregate at barriers
+	window Duration
+	pool   *Pool
+
+	now Time
+	seq uint64 // global registration/delivery sequence across shards
+
+	// outbox[src] buffers mail sent during the current window; the last
+	// slot is the coordinator's. A shard appends only to its own buffer,
+	// so no locking is needed while a window runs.
+	outbox  [][]mail
+	scratch []mail
+
+	barriers []func(Time)
+
+	meter       *Meter  // aggregate: global-clock virtual time, merged ticks
+	mergedTicks []int64 // per-shard tick counts already folded into meter
+}
+
+// NewShardedEngine returns a sharded engine with the given shard count
+// (>= 1), barrier window (<= 0 selects DefaultWindow), and fork-join
+// pool (nil runs shards serially — same results, one core). Shard tick
+// period is TickPeriod, matching NewEngine.
+func NewShardedEngine(shards int, window Duration, pool *Pool) *ShardedEngine {
+	if shards < 1 {
+		panic("sim: shard count must be >= 1")
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	se := &ShardedEngine{
+		shards:      make([]*Engine, shards),
+		meters:      make([]*Meter, shards),
+		window:      window,
+		pool:        pool,
+		outbox:      make([][]mail, shards+1),
+		mergedTicks: make([]int64, shards),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+		se.meters[i] = &Meter{}
+		se.shards[i].SetMeter(se.meters[i])
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Window returns the barrier window Δ.
+func (se *ShardedEngine) Window() Duration { return se.window }
+
+// Now returns the global virtual time — the last barrier reached.
+func (se *ShardedEngine) Now() Time { return se.now }
+
+// Shard exposes shard i's Engine for registering tickers and local
+// events. Outside Run it may be used freely; while a window is running
+// it must only be touched by that shard's own callbacks.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// ShardMeter returns shard i's private meter: its own virtual-time
+// advance and tick counts, the per-shard attribution that Meter
+// aggregation folds together at barriers.
+func (se *ShardedEngine) ShardMeter(i int) *Meter { return se.meters[i] }
+
+// SetMeter attaches the aggregate meter. Like a single Engine it counts
+// as one engine and credits global-clock virtual time — both
+// independent of the shard count, which keeps manifest accounting
+// byte-identical at shards=1, 2, …, all-core. Shard tick counts are
+// folded in atomically at each barrier.
+func (se *ShardedEngine) SetMeter(m *Meter) {
+	se.meter = m
+	m.addEngine()
+}
+
+// Schedule registers fn on shard s at time at, drawing its sequence
+// number from the global counter: registrations interleaved across
+// shards keep the exact submission order a serial Engine would give
+// them, so the merged (at, seq) pop order is shard-count-invariant.
+func (se *ShardedEngine) Schedule(s int, at Time, fn func(Time)) {
+	sh := se.shards[s]
+	if sh.seq > se.seq {
+		se.seq = sh.seq
+	}
+	se.seq++
+	sh.seq = se.seq - 1
+	sh.Schedule(at, fn)
+}
+
+// ScheduleSeries registers a pre-generated time series on shard s (see
+// Engine.ScheduleSeries), reserving its sequence range from the global
+// counter like Schedule does.
+func (se *ShardedEngine) ScheduleSeries(s int, base Time, times []Time, fn func(Time)) {
+	if len(times) == 0 {
+		return
+	}
+	sh := se.shards[s]
+	if sh.seq > se.seq {
+		se.seq = sh.seq
+	}
+	sh.seq = se.seq
+	sh.ScheduleSeries(base, times, fn)
+	se.seq = sh.seq
+}
+
+// AtBarrier registers a coordinator hook invoked at every barrier (after
+// mail delivery) with the barrier time, in registration order. Hooks run
+// serially and may touch all shards: schedule events, send mail, read
+// merged state.
+func (se *ShardedEngine) AtBarrier(fn func(now Time)) {
+	se.barriers = append(se.barriers, fn)
+}
+
+// Outbox returns shard s's sending handle. Shard callbacks must send
+// through their own outbox — it is the only ShardedEngine surface safe
+// to touch while a window runs concurrently.
+func (se *ShardedEngine) Outbox(s int) *Outbox { return &Outbox{se: se, src: s} }
+
+// CoordinatorOutbox returns the coordinator's sending handle, for use
+// from barrier hooks and coordinator mail; its mail goes out at the
+// following barrier.
+func (se *ShardedEngine) CoordinatorOutbox() *Outbox {
+	return &Outbox{se: se, src: len(se.shards)}
+}
+
+// Outbox queues cross-shard mail on behalf of one sender. Each sender
+// owns its buffer, so concurrent shards never contend.
+type Outbox struct {
+	se  *ShardedEngine
+	src int
+}
+
+// Send queues fn for shard dst (or Coordinator) with timestamp at and
+// tie key key. Delivery happens at the next barrier: coordinator mail
+// executes there in mailbox order; shard mail is scheduled at
+// max(at, barrier). at and key order the mailbox — key should be a
+// sharding-invariant logical sequence (a global event index) when tie
+// order must not depend on the shard count.
+func (o *Outbox) Send(dst int, at Time, key uint64, fn func(Time)) {
+	box := &o.se.outbox[o.src]
+	*box = append(*box, mail{
+		at: at, key: key, src: o.src, seq: uint64(len(*box)), dst: dst, fn: fn,
+	})
+}
+
+// Run advances global time to until, window by window: all shards run
+// [T, T+Δ) — on the pool when one is attached — then the barrier
+// delivers mail, fires coordinator hooks, and folds shard meters into
+// the aggregate. Equivalent serial and parallel; equivalent at any
+// window size for workloads whose cross-window interactions go through
+// the mailbox/coordinator (the conservative-PDES contract).
+func (se *ShardedEngine) Run(until Time) {
+	start := se.now
+	for se.now < until {
+		end := se.now + se.window
+		if end > until {
+			end = until
+		}
+		se.pool.ForkJoin(len(se.shards), func(i int) {
+			se.shards[i].Run(end)
+		})
+		se.now = end
+		se.barrier()
+	}
+	se.meter.AddVirtual(se.now - start)
+}
+
+// barrier exchanges mail, runs coordinator hooks, and merges meters at
+// the current global time.
+func (se *ShardedEngine) barrier() {
+	// Dynamic in-window scheduling advanced shard-local sequence
+	// counters; fold them into the global counter before assigning
+	// delivery sequences so global order stays ascending.
+	for _, sh := range se.shards {
+		if sh.seq > se.seq {
+			se.seq = sh.seq
+		}
+	}
+
+	// Deterministic mailbox: gather, order by (at, key, src, seq),
+	// deliver. Coordinator mail executes here, serially; shard mail is
+	// scheduled into its destination with globally ascending sequences.
+	se.scratch = se.scratch[:0]
+	for i := range se.outbox {
+		se.scratch = append(se.scratch, se.outbox[i]...)
+		se.outbox[i] = se.outbox[i][:0]
+	}
+	slices.SortFunc(se.scratch, func(a, b mail) int {
+		if a.less(b) {
+			return -1
+		}
+		if b.less(a) {
+			return 1
+		}
+		return 0
+	})
+	for i := range se.scratch {
+		m := &se.scratch[i]
+		if m.dst == Coordinator {
+			m.fn(se.now)
+		} else {
+			at := m.at
+			if at < se.now {
+				at = se.now
+			}
+			se.Schedule(m.dst, at, m.fn)
+		}
+		m.fn = nil // release the closure
+	}
+
+	for _, fn := range se.barriers {
+		fn(se.now)
+	}
+
+	// Per-shard attribution folds into the aggregate by atomic,
+	// commutative adds — the merge result is independent of the order
+	// (or concurrency) in which shards report.
+	for i, m := range se.meters {
+		if t := m.Ticks(); t > se.mergedTicks[i] {
+			se.meter.addTicks(t - se.mergedTicks[i])
+			se.mergedTicks[i] = t
+		}
+	}
+}
+
+// Pending reports queued one-shot events across all shards.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.Pending()
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedMailboxOrder pins the mailbox's delivery order: mail from
+// several shards with colliding timestamps and keys reaches the
+// coordinator sorted by (at, key, src, seq), at the barrier time.
+func TestShardedMailboxOrder(t *testing.T) {
+	se := NewShardedEngine(3, 100*Millisecond, nil)
+	var log []string
+	send := func(s int) func(at Time, key uint64) {
+		out := se.Outbox(s)
+		return func(at Time, key uint64) {
+			out.Send(Coordinator, at, key, func(now Time) {
+				log = append(log, fmt.Sprintf("at=%d key=%d src=%d now=%s", at, key, s, now))
+			})
+		}
+	}
+	// Each shard queues its mail from an event inside the first window.
+	se.Schedule(0, 10*Millisecond, func(Time) {
+		send(0)(50*Millisecond, 2)
+		send(0)(10*Millisecond, 9)
+	})
+	se.Schedule(1, 20*Millisecond, func(Time) {
+		send(1)(10*Millisecond, 9) // ties shard 0's (10ms, 9): src breaks it
+		send(1)(50*Millisecond, 1)
+	})
+	se.Schedule(2, 30*Millisecond, func(Time) {
+		send(2)(50*Millisecond, 2) // ties shard 0's (50ms, 2): src breaks it
+	})
+	se.Run(100 * Millisecond)
+
+	want := []string{
+		"at=10000 key=9 src=0 now=0.100s",
+		"at=10000 key=9 src=1 now=0.100s",
+		"at=50000 key=1 src=1 now=0.100s",
+		"at=50000 key=2 src=0 now=0.100s",
+		"at=50000 key=2 src=2 now=0.100s",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("coordinator saw %d messages, want %d: %v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("mail %d = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+// TestShardedCrossShardDelivery pins shard-to-shard mail semantics:
+// delivery at the next barrier, scheduled at max(at, barrier) on the
+// destination shard.
+func TestShardedCrossShardDelivery(t *testing.T) {
+	se := NewShardedEngine(2, 100*Millisecond, nil)
+	var fired []Time
+	out := se.Outbox(0)
+	se.Schedule(0, 30*Millisecond, func(Time) {
+		// Timestamp already in the past by the 100 ms barrier: clamps.
+		out.Send(1, 20*Millisecond, 0, func(now Time) { fired = append(fired, now) })
+		// Future timestamp: fires on shard 1's own clock at 250 ms.
+		out.Send(1, 250*Millisecond, 1, func(now Time) { fired = append(fired, now) })
+	})
+	se.Run(300 * Millisecond)
+	if len(fired) != 2 || fired[0] != 100*Millisecond || fired[1] != 250*Millisecond {
+		t.Fatalf("cross-shard deliveries fired at %v, want [100ms 250ms]", fired)
+	}
+}
+
+// shardInvariantRun drives one fixed logical workload — 240 events with
+// global indexes, each reporting to the coordinator keyed by its index —
+// through a ShardedEngine with the given shard count and pool, and
+// returns the coordinator's observation log. The event-to-shard map is
+// index%shards, so different shard counts partition the same events
+// differently; the log must come out identical regardless.
+func shardInvariantRun(shards int, window Duration, pool *Pool) []string {
+	se := NewShardedEngine(shards, window, pool)
+	var log []string
+	se.AtBarrier(func(now Time) {
+		// Hook ordering vs mail: mail delivers first, then hooks; pin it
+		// by recording barrier ticks interleaved with the mail log.
+		log = append(log, fmt.Sprintf("barrier %s", now))
+	})
+	outs := make([]*Outbox, shards)
+	for s := range outs {
+		outs[s] = se.Outbox(s)
+	}
+	for idx := 0; idx < 240; idx++ {
+		s := idx % shards
+		at := Time(idx%60) * 16 * Millisecond // collisions across shards on purpose
+		gidx := uint64(idx)
+		se.Schedule(s, at, func(now Time) {
+			outs[s].Send(Coordinator, now, gidx, func(bnow Time) {
+				log = append(log, fmt.Sprintf("ev %d at %s delivered %s", gidx, now, bnow))
+			})
+		})
+	}
+	se.Run(Second)
+	return log
+}
+
+// TestShardedShardCountInvariance is the tentpole guarantee in
+// miniature: the coordinator-observable history of one workload is
+// byte-identical at shards=1, 2, 4 and 8, serial or pooled.
+func TestShardedShardCountInvariance(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	ref := shardInvariantRun(1, 100*Millisecond, nil)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no log")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		for _, p := range []*Pool{nil, pool} {
+			got := shardInvariantRun(shards, 100*Millisecond, p)
+			if len(got) != len(ref) {
+				t.Fatalf("shards=%d pooled=%v: log length %d, want %d", shards, p != nil, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("shards=%d pooled=%v: log[%d] = %q, want %q", shards, p != nil, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMeterAggregation pins the accounting contract that keeps
+// manifests byte-identical across shard counts: the aggregate meter
+// sees exactly one engine and global-clock virtual time, while shard
+// ticks fold in as a sum.
+func TestShardedMeterAggregation(t *testing.T) {
+	const horizon = 2 * Second
+	for _, shards := range []int{1, 3, 5} {
+		se := NewShardedEngine(shards, 250*Millisecond, nil)
+		for s := 0; s < shards; s++ {
+			// Give every shard an active ticker so ticks actually fire.
+			se.Shard(s).AddTicker(TickerFunc(func(Time) {}))
+		}
+		m := &Meter{}
+		se.SetMeter(m)
+		se.Run(horizon)
+		if m.Engines() != 1 {
+			t.Fatalf("shards=%d: aggregate engines = %d, want 1", shards, m.Engines())
+		}
+		if m.Virtual() != horizon {
+			t.Fatalf("shards=%d: aggregate virtual = %s, want %s", shards, m.Virtual(), horizon)
+		}
+		var shardTicks, shardVirtual int64
+		for s := 0; s < shards; s++ {
+			shardTicks += se.ShardMeter(s).Ticks()
+			shardVirtual += int64(se.ShardMeter(s).Virtual())
+		}
+		if m.Ticks() != shardTicks {
+			t.Fatalf("shards=%d: aggregate ticks = %d, want sum of shard ticks %d", shards, m.Ticks(), shardTicks)
+		}
+		if shardVirtual != int64(horizon)*int64(shards) {
+			t.Fatalf("shards=%d: shard virtual sum = %d, want %d", shards, shardVirtual, int64(horizon)*int64(shards))
+		}
+	}
+}
+
+// TestPoolForkJoin covers the fork-join pool: full index coverage into
+// disjoint slots at several widths, nil-pool serial fallback, and panic
+// propagation to the caller with the pool still usable afterwards.
+func TestPoolForkJoin(t *testing.T) {
+	var nilPool *Pool
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 3, 17} {
+			got := make([]int, n)
+			p.ForkJoin(n, func(i int) { got[i] = i + 1 })
+			nilGot := make([]int, n)
+			nilPool.ForkJoin(n, func(i int) { nilGot[i] = i + 1 })
+			for i := 0; i < n; i++ {
+				if got[i] != i+1 || nilGot[i] != i+1 {
+					t.Fatalf("workers=%d n=%d: slot %d = %d/%d, want %d", workers, n, i, got[i], nilGot[i], i+1)
+				}
+			}
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: task panic did not propagate", workers)
+				}
+			}()
+			p.ForkJoin(4, func(i int) {
+				if i == 2 {
+					panic("boom")
+				}
+			})
+		}()
+		// Pool must stay usable after a propagated panic.
+		ok := make([]bool, 8)
+		p.ForkJoin(8, func(i int) { ok[i] = true })
+		for i, v := range ok {
+			if !v {
+				t.Fatalf("workers=%d: slot %d not run after panic recovery", workers, i)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
