@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race-subsys bench bench-quick bench-gate \
+.PHONY: build test test-short test-race-subsys cover-check bench bench-quick bench-gate \
 	bench-baseline bench-hyperscale manifest-check vet fmt-check ci ci-bench nightly
 
 build:
@@ -24,6 +24,20 @@ test-short:
 # enough for the check gate, where the full -race suite is not.
 test-race-subsys:
 	$(GO) test -race ./internal/sim/... ./internal/simtest/... ./internal/workload/... ./internal/cluster/...
+
+# Coverage floor over the library packages: the short tier with a
+# profile, gated against the committed floor in bench/coverage-floor.txt.
+# The floor is a ratchet, not a target — raise it when coverage rises,
+# never lower it to make a PR pass. Uses only go tool cover + awk so the
+# gate runs on the bare CI image.
+COVER_OUT ?= /tmp/dilu-cover.out
+cover-check:
+	$(GO) test -short -coverprofile $(COVER_OUT) ./internal/...
+	@total=$$($(GO) tool cover -func $(COVER_OUT) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat bench/coverage-floor.txt); \
+	echo "total coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the committed floor $$floor%"; exit 1; }
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -45,7 +59,7 @@ bench-quick:
 # PINNED_BENCHMARKS so the run set and the gated set cannot drift.
 # Recipes avoid `test | tee` because the default shell has no pipefail —
 # a crashing benchmark must fail the target even mid-log.
-PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit BenchmarkGrayFailure BenchmarkColdStartStages BenchmarkShardedHyperscale
+PINNED_BENCHMARKS = BenchmarkSchedulerThroughput BenchmarkFigure17_LargeScale BenchmarkSuiteQuickSerial BenchmarkGatewaySubmit BenchmarkGrayFailure BenchmarkColdStartStages BenchmarkLLMContinuousBatch BenchmarkShardedHyperscale
 # The gate compares per-name best ns/op, and a sub-benchmarked pinned
 # name emits timing lines only for its children — so the sharded
 # hyperscale benchmark is gated by its two sub-benchmark paths while the
@@ -86,6 +100,10 @@ bench-hyperscale:
 # axis (1 vs 2 vs all-core) is the determinism claim of the sharded
 # engine — one run partitioned across cores, same bytes. This is the
 # whole-registry extension of the committed quick/trace golden tests.
+# The token-level drivers then get their own dedicated axis: continuous
+# batching joins/preempts mid-stream and KV charge/release races would
+# show up exactly here, so they are byte-compared in isolation too.
+LLM_DRIVERS = llm_continuous_batch llm_kvcache_pressure
 MANIFEST_DIR ?= /tmp
 manifest-check:
 	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 1 -q -manifest $(MANIFEST_DIR)/dilu-manifest-serial.json
@@ -96,6 +114,12 @@ manifest-check:
 	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 0 -shards 0 -q -manifest $(MANIFEST_DIR)/dilu-manifest-shardsall.json
 	cmp $(MANIFEST_DIR)/dilu-manifest-serial.json $(MANIFEST_DIR)/dilu-manifest-shardsall.json
 	@echo "manifest determinism: serial == parallel == shards=2 == shards=all"
+	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 1 -q -manifest $(MANIFEST_DIR)/dilu-manifest-llm-serial.json $(LLM_DRIVERS)
+	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 0 -q -manifest $(MANIFEST_DIR)/dilu-manifest-llm-parallel.json $(LLM_DRIVERS)
+	cmp $(MANIFEST_DIR)/dilu-manifest-llm-serial.json $(MANIFEST_DIR)/dilu-manifest-llm-parallel.json
+	$(GO) run ./cmd/dilu-bench -scale 0.1 -parallel 0 -shards 2 -q -manifest $(MANIFEST_DIR)/dilu-manifest-llm-shards2.json $(LLM_DRIVERS)
+	cmp $(MANIFEST_DIR)/dilu-manifest-llm-serial.json $(MANIFEST_DIR)/dilu-manifest-llm-shards2.json
+	@echo "LLM driver determinism: serial == parallel == shards=2"
 
 vet:
 	$(GO) vet ./...
@@ -110,7 +134,7 @@ fmt-check:
 # one-iteration suite sweep, then the pinned-benchmark gate.
 ci-bench: bench-quick bench-gate
 
-ci: build vet fmt-check test-short test-race-subsys ci-bench
+ci: build vet fmt-check test-short test-race-subsys cover-check ci-bench
 
 # nightly mirrors .github/workflows/nightly.yml: the slow path the
 # per-PR workflow skips.

@@ -235,6 +235,11 @@ func BenchmarkStragglerTail(b *testing.B) { runExperiment(b, "straggler_tail") }
 // kernel-cache warm pools all on the hot path of the cached arm.
 func BenchmarkColdStartStages(b *testing.B) { runExperiment(b, "coldstart_stages") }
 
+// BenchmarkLLMContinuousBatch runs the two-arm token-level serving
+// comparison: continuous batching, per-step KV-cache charge/release,
+// and the preemption/refusal machinery all sit on the hot path.
+func BenchmarkLLMContinuousBatch(b *testing.B) { runExperiment(b, "llm_continuous_batch") }
+
 // BenchmarkPrewarmPolicy runs the reactive-vs-prewarm ramp comparison
 // with the rate-trend prewarming step on the sampling path.
 func BenchmarkPrewarmPolicy(b *testing.B) { runExperiment(b, "prewarm_policy") }

@@ -59,26 +59,37 @@ func stripGOMAXPROCS(name string) string {
 // side — a renamed or deleted pinned benchmark must be an explicit
 // baseline update, not a silent pass.
 func runGate(w io.Writer, oldBest, newBest map[string]float64, names []string, maxRegress float64) bool {
-	failed := false
-	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark (best ns/op)", "baseline", "new", "delta")
+	nfail := 0
+	worst := 0.0
+	fmt.Fprintf(w, "%-40s %14s %14s %12s\n", "benchmark (best ns/op)", "baseline", "new", "delta")
 	for _, name := range names {
 		o, okO := oldBest[name]
 		n, okN := newBest[name]
 		switch {
 		case !okO || !okN:
-			fmt.Fprintf(w, "%-40s %14s %14s %8s\n", name, mark(okO, o), mark(okN, n), "MISSING")
-			failed = true
+			fmt.Fprintf(w, "%-40s %14s %14s %12s\n", name, mark(okO, o), mark(okN, n), "MISSING")
+			nfail++
 		default:
 			delta := n/o - 1
-			verdict := fmt.Sprintf("%+.1f%%", delta*100)
-			if delta > maxRegress {
-				verdict += " FAIL"
-				failed = true
+			if delta > worst {
+				worst = delta
 			}
-			fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s\n", name, o, n, verdict)
+			verdict := fmt.Sprintf("%+.1f%% ok", delta*100)
+			if delta > maxRegress {
+				verdict = fmt.Sprintf("%+.1f%% FAIL", delta*100)
+				nfail++
+			}
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %12s\n", name, o, n, verdict)
 		}
 	}
-	return failed
+	if nfail > 0 {
+		fmt.Fprintf(w, "FAIL: %d of %d pinned benchmark(s) regressed past +%.0f%% (or went missing)\n",
+			nfail, len(names), maxRegress*100)
+	} else {
+		fmt.Fprintf(w, "PASS: %d pinned benchmark(s) within +%.0f%% of baseline (worst %+.1f%%)\n",
+			len(names), maxRegress*100, worst*100)
+	}
+	return nfail > 0
 }
 
 func mark(ok bool, v float64) string {

@@ -61,6 +61,13 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	if !strings.Contains(out.String(), "+8.0%") {
 		t.Fatalf("delta missing from table:\n%s", out.String())
 	}
+	// The delta table and verdict must show on PASS too, not only on FAIL.
+	if !strings.Contains(out.String(), "PASS: 2 pinned benchmark(s)") {
+		t.Fatalf("PASS summary missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("per-row ok marker missing:\n%s", out.String())
+	}
 }
 
 func TestGateFailsBeyondThreshold(t *testing.T) {

@@ -47,8 +47,8 @@ func TestPublicAPIProfiling(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 32 {
-		t.Fatalf("expected 32 experiment drivers, got %d", len(exps))
+	if len(exps) != 34 {
+		t.Fatalf("expected 34 experiment drivers, got %d", len(exps))
 	}
 	if _, err := ExperimentByID("table2"); err != nil {
 		t.Fatal(err)

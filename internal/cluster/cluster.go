@@ -38,6 +38,10 @@ type Placement struct {
 	// (Exclusive allocates 1.0 for a 0.3-need instance). Fragmentation
 	// accounting uses it; zero falls back to Req.
 	TrueReq float64
+	// KVMB is the KV-cache slice of MemMB, maintained by ReserveKV/
+	// ReleaseKV. Remove reconciles it so an eviction racing a token-level
+	// release (node failure before instance abort) never double-counts.
+	KVMB float64
 }
 
 // trueReq returns the actual compute need of the placement.
@@ -106,6 +110,10 @@ type GPU struct {
 	SumLim     float64
 	SumTrueReq float64
 	MemUsedMB  float64
+	// KVUsedMB is the slice of MemUsedMB currently held by KV caches —
+	// variable-size reservations grown and shrunk token-by-token via
+	// ReserveKV/ReleaseKV, always contained in some placement's MemMB.
+	KVUsedMB   float64
 	Placements []*Placement
 
 	health   Health
@@ -201,6 +209,10 @@ func (g *GPU) Remove(p *Placement) {
 			g.SumLim -= p.Lim
 			g.SumTrueReq -= p.trueReq()
 			g.MemUsedMB -= p.MemMB
+			// The KV charge leaves inside p.MemMB; reconcile the KV view
+			// and zero the placement's slice so a late ReleaseKV no-ops.
+			g.KVUsedMB -= p.KVMB
+			p.KVMB = 0
 			if g.funcCounts[p.Func]--; g.funcCounts[p.Func] <= 0 {
 				delete(g.funcCounts, p.Func)
 				if g.clu != nil {
@@ -220,6 +232,44 @@ func (g *GPU) Remove(p *Placement) {
 			return
 		}
 	}
+}
+
+// ReserveKV grows placement p's reservation by mb of KV-cache memory.
+// It refuses (false) when the GPU lacks headroom — the cache-full signal
+// that forces token-level serving to preempt or shed. On success the
+// charge lands in p.MemMB, g.MemUsedMB, and g.KVUsedMB together, so the
+// quota-conservation view (Σ placement MemMB == MemUsedMB) is preserved.
+// The occupancy index is untouched: it buckets by ΣReq only.
+func (g *GPU) ReserveKV(p *Placement, mb float64) bool {
+	if mb <= 0 {
+		return true
+	}
+	if g.MemUsedMB+mb > g.MemCapMB {
+		return false
+	}
+	p.MemMB += mb
+	p.KVMB += mb
+	g.MemUsedMB += mb
+	g.KVUsedMB += mb
+	return true
+}
+
+// ReleaseKV returns mb of KV-cache memory from placement p (sequence
+// completion, preemption, or instance teardown before Remove). The
+// release clamps to the placement's live KV charge: a placement already
+// evicted by Remove (node failure racing an instance abort) has nothing
+// left to release here.
+func (g *GPU) ReleaseKV(p *Placement, mb float64) {
+	if mb > p.KVMB {
+		mb = p.KVMB
+	}
+	if mb <= 0 {
+		return
+	}
+	p.MemMB -= mb
+	p.KVMB -= mb
+	g.MemUsedMB -= mb
+	g.KVUsedMB -= mb
 }
 
 // HostsFunc reports whether any placement belongs to the function.

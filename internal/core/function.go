@@ -56,12 +56,16 @@ type InferOpts struct {
 	// submission (deadline-aware admission and pending-queue ordering).
 	Priority int
 	Deadline sim.Duration
+	// LLM switches the deployment to the token-level serving runtime
+	// (continuous batching, per-sequence KV-cache accounting); nil keeps
+	// the fixed-batch runtime. See LLMOpts.
+	LLM *LLMOpts
 }
 
 // servedInstance couples a running inference instance with its
 // reservation.
 type servedInstance struct {
-	inst   *instance.Inference
+	inst   instance.Server
 	dec    sched.Decision
 	stages []instance.Stage
 	// migrating marks an instance whose make-before-break replacement
@@ -126,6 +130,12 @@ type Function struct {
 	// prewarm is the predictive-prewarming state (rate-trend ring and
 	// in-flight launch windows); nil whenever Config.Prewarm is nil.
 	prewarm *prewarmState
+
+	// llm is the token-level serving state (profile, token recorder,
+	// length sampler); nil whenever the deployment has no LLMOpts —
+	// every touchpoint guards on it, keeping fixed-batch deployments
+	// byte-identical.
+	llm *llmState
 
 	pinned []int
 	seq    int
@@ -202,6 +212,14 @@ func (sys *System) DeployInference(name, modelName string, opts InferOpts) (*Fun
 		pinned:    opts.Pin,
 		tenant:    opts.Tenant,
 	}
+	if opts.LLM != nil {
+		st, err := newLLMState(sys, f, *opts.LLM)
+		if err != nil {
+			return nil, err
+		}
+		f.llm = st
+		sys.llmDeployed = true
+	}
 	if sys.cfg.Resilience != nil {
 		f.res = newResilience(sys.cfg.Resilience)
 	}
@@ -263,9 +281,16 @@ func (f *Function) inject(now sim.Time, greq Request) {
 	req := instance.Request{
 		ID: f.sys.nextReqID(), Arrive: now,
 		Tenant: greq.Tenant, Priority: greq.Priority,
+		PromptTokens: greq.PromptTokens, DecodeTokens: greq.DecodeTokens,
 	}
 	if greq.Deadline > 0 {
 		req.Deadline = now + greq.Deadline
+	}
+	if f.llm != nil && req.PromptTokens == 0 && req.DecodeTokens == 0 {
+		// Token-level deployments stamp sampled lengths on requests that
+		// carry none (the arrival-series path); explicit lengths pass
+		// through untouched.
+		req.PromptTokens, req.DecodeTokens = f.llm.sampleTokens()
 	}
 	if f.res != nil {
 		f.armResilience(req, now)
@@ -280,7 +305,7 @@ func (f *Function) inject(now sim.Time, greq Request) {
 
 // enqueue hands a request to an instance, entering it into the system's
 // tick-loop active set on the idle→busy transition.
-func (f *Function) enqueue(in *instance.Inference, req instance.Request) {
+func (f *Function) enqueue(in instance.Server, req instance.Request) {
 	wasBusy := in.Busy()
 	in.Enqueue(req)
 	if !wasBusy {
@@ -289,8 +314,8 @@ func (f *Function) enqueue(in *instance.Inference, req instance.Request) {
 }
 
 // pickLeastLoaded is the gateway's dispatch rule across active instances.
-func (f *Function) pickLeastLoaded() *instance.Inference {
-	var best *instance.Inference
+func (f *Function) pickLeastLoaded() instance.Server {
+	var best instance.Server
 	bestLoad := 1 << 30
 	for _, si := range f.active {
 		if !si.inst.Active() {
@@ -397,7 +422,22 @@ func (f *Function) launch(cold bool) (*servedInstance, error) {
 		return nil, err
 	}
 	f.seq++
-	in := instance.NewInference(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec, f.Profile.IBS, stages, f.Rec)
+	var in instance.Server
+	if f.llm != nil {
+		// Bridge each stage's KV charges to its placement and resident so
+		// quota conservation holds at the cluster and device granularities
+		// alike. attach appends stages in decision-GPU order, so index i
+		// pairs stage, GPU, and placement.
+		for i := range stages {
+			stages[i].KV = &kvStage{g: dec.GPUs[i], p: dec.Placements[i], res: stages[i].Res}
+		}
+		l := instance.NewLLM(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec,
+			f.llm.config(), stages, f.Rec, f.llm.Tok)
+		l.SetOnPreempt(f.onPreempt)
+		in = l
+	} else {
+		in = instance.NewInference(fmt.Sprintf("%s#%d", f.Name, f.seq), f.Name, f.Spec, f.Profile.IBS, stages, f.Rec)
+	}
 	if f.res != nil {
 		in.SetOnComplete(f.onRequestComplete)
 	}
@@ -543,6 +583,12 @@ func (f *Function) popWarm() *warmEntry {
 
 // teardown releases an instance's devices and reservations.
 func (f *Function) teardown(si *servedInstance) {
+	if l, ok := si.inst.(*instance.LLM); ok {
+		// Unwind any remaining KV charge through the stage backings before
+		// the placements go away (the lost-teardown path, where no Abort
+		// preceded us); a post-Abort call finds nothing to release.
+		l.ReleaseAllKV()
+	}
 	f.sys.detach(si.dec, si.stages)
 	si.dec.Release()
 }

@@ -34,6 +34,12 @@ type Request struct {
 	// submission time; zero means none (deadline-aware policies then
 	// fall back to the function's SLO target).
 	Deadline sim.Duration
+	// PromptTokens and DecodeTokens are the token-level lengths of an
+	// LLM request; zero on both makes the target function's token
+	// sampler (if any) stamp them at injection. Ignored by fixed-batch
+	// functions.
+	PromptTokens int
+	DecodeTokens int
 }
 
 // TenantStats is the gateway's per-tenant admission ledger. Retries and

@@ -72,7 +72,7 @@ func (sys *System) DeviceInActiveSet(d *gpu.Device) bool { return sys.devActive[
 // VisitInstances calls visit for every live inference instance of the
 // function: serving instances first (deployment order), then keep-alive
 // (warm) instances that are neither reused nor expired.
-func (f *Function) VisitInstances(visit func(in *instance.Inference, warm bool)) {
+func (f *Function) VisitInstances(visit func(in instance.Server, warm bool)) {
 	for _, si := range f.active {
 		visit(si.inst, false)
 	}

@@ -326,7 +326,7 @@ func (f *Function) stealCopy(id int64) (instance.Request, bool) {
 
 // holderOf returns the instance currently holding (queued or executing)
 // a copy of request id, or nil.
-func (f *Function) holderOf(id int64) *instance.Inference {
+func (f *Function) holderOf(id int64) instance.Server {
 	for _, si := range f.active {
 		if si.inst.HasRequest(id) {
 			return si.inst
@@ -345,8 +345,8 @@ func (f *Function) holderOf(id int64) *instance.Inference {
 
 // pickLeastLoadedExcept is pickLeastLoaded skipping one instance — the
 // hedge dispatch rule (racing a copy on the same straggler is no race).
-func (f *Function) pickLeastLoadedExcept(skip *instance.Inference) *instance.Inference {
-	var best *instance.Inference
+func (f *Function) pickLeastLoadedExcept(skip instance.Server) instance.Server {
+	var best instance.Server
 	bestLoad := 1 << 30
 	for _, si := range f.active {
 		if si.inst == skip || !si.inst.Active() {

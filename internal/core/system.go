@@ -174,6 +174,14 @@ type System struct {
 	// only when the stage model or prewarming is configured.
 	coldStats ColdStartStats
 
+	// llmDeployed latches once any deployment uses the token-level
+	// runtime; it gates the 1 Hz KV-occupancy probe and the SLO summary's
+	// LLM block, keeping every fixed-batch run byte-identical. The peaks
+	// are run maxima over the probe's samples.
+	llmDeployed bool
+	kvPeakMB    float64
+	kvPeakShare float64
+
 	invariants []Invariant
 
 	horizon sim.Duration
@@ -363,6 +371,9 @@ func (sys *System) sample(now sim.Time) {
 		return
 	}
 	sys.GPUSeries.Add(now, float64(sys.Clu.OccupiedCount()))
+	if sys.llmDeployed {
+		sys.sampleKV()
+	}
 	for _, f := range sys.funcs {
 		f.sample(now)
 	}
@@ -398,6 +409,7 @@ func (sys *System) SLOSummary() *metrics.SLOSummary {
 	sum.Gateway = sys.gatewaySLO(sys.Eng.Now())
 	sum.Resilience = sys.resilienceSLO()
 	sum.ColdStart = sys.coldStartSLO()
+	sum.LLM = sys.llmSLO()
 	return sum
 }
 

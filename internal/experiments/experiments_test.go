@@ -59,8 +59,8 @@ func TestEveryDriverDeclaresATier(t *testing.T) {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 32 {
-		t.Fatalf("registry has %d drivers, want 32", len(all))
+	if len(all) != 34 {
+		t.Fatalf("registry has %d drivers, want 34", len(all))
 	}
 	want := []string{"figure2", "figure2cd", "table2", "figure4", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "table3",
@@ -68,7 +68,8 @@ func TestRegistryCompleteAndOrdered(t *testing.T) {
 		"ablation-controller", "slo_sweep", "trace_replay", "tenant_mix",
 		"hyperscale", "hyperscale_max", "hetero_mix", "churn_recovery", "rolling_drain",
 		"overload_shed", "tenant_fairness", "gray_failure", "straggler_tail",
-		"coldstart_stages", "prewarm_policy"}
+		"coldstart_stages", "prewarm_policy",
+		"llm_continuous_batch", "llm_kvcache_pressure"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("registry[%d] = %s, want %s", i, all[i].ID, id)

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"dilu/internal/cluster"
+	"dilu/internal/core"
+	"dilu/internal/metrics"
+	"dilu/internal/report"
+	"dilu/internal/sim"
+	"dilu/internal/workload"
+)
+
+// LLM serving drivers: the token-level regime the fixed-batch generative
+// path could not express. Both scenarios deploy LLaMA2-7B through
+// core.LLMOpts — requests carry Zipf-mixed prompt/decode lengths, each
+// scheduling step decodes one token per resident sequence, and KV-cache
+// growth is charged against GPU memory — and read the TTFT/TPOT/token-
+// throughput roll-up back out of the SLO summary's LLM block.
+
+// llmFuncRow adds one arm's token-level accounting to the table.
+func llmFuncRow(t *report.Table, arm string, sum *metrics.SLOSummary) {
+	l := sum.LLM
+	if l == nil || len(l.Funcs) == 0 {
+		panic("experiments: LLM block missing from SLO summary")
+	}
+	st := l.Funcs[0]
+	t.AddRow(arm, float64(st.Requests), float64(st.TokensOut), st.TokensPerSecond,
+		st.TTFTP95Millis, float64(st.TTFTViolations), st.TPOTP95Millis,
+		sum.GoodputRPS, float64(l.CacheFullPreemptions), float64(l.AdmitRefusals))
+}
+
+// llmTokenMix is the production-shaped request-length mix both drivers
+// sample: most prompts and decodes short, a heavy tail long.
+func llmTokenMix(promptMax, decodeMax int) workload.TokenSampler {
+	return workload.ZipfTokenMix{
+		PromptMin: 16, PromptMax: promptMax,
+		DecodeMin: 8, DecodeMax: decodeMax,
+		Alpha: 1.1,
+	}
+}
+
+// LLMContinuousBatch compares continuous batching against run-to-
+// completion static batching on a Zipf prompt/decode mix at moderate
+// overload: with run-to-completion a short request arriving behind a
+// long batch waits for the whole batch to drain before prefilling, so
+// TTFT collapses; continuous batching joins it at the next step
+// boundary. Token throughput, TPOT, and goodput come along for the
+// comparison — the continuous-batching claim of DeepServe-style
+// serverless LLM serving.
+func LLMContinuousBatch(opts Options) *report.Report {
+	opts = opts.withDefaults()
+	rep := report.New("llm_continuous_batch", "LLM serving: continuous batching vs run-to-completion on a Zipf token mix (extra)")
+	dur := opts.dur(60 * sim.Second)
+
+	arms := []struct {
+		name string
+		rtc  bool
+	}{
+		{"continuous", false},
+		{"run-to-completion", true},
+	}
+	table := rep.AddTable(report.NewTable(
+		"LLM batching: token-level SLO attainment by admission mode",
+		"mode", "requests", "tokens out", "tok/s", "ttft p95 ms", "ttft viol", "tpot p95 ms", "goodput rps", "preempt", "refusals"))
+
+	for _, arm := range arms {
+		sys := core.MustSystem(core.Config{
+			Nodes: 1, GPUsPerNode: 2, Seed: opts.Seed, Meter: opts.Meter,
+		})
+		if _, err := sys.DeployInference("llama2-chat", "LLaMA2-7B", core.InferOpts{
+			Instances: 2, Stages: 1, NoScaler: true,
+			Arrivals: workload.Poisson{RPS: 8},
+			LLM: &core.LLMOpts{
+				MaxBatch:        8,
+				RunToCompletion: arm.rtc,
+				TTFT:            300 * sim.Millisecond,
+				TPOT:            80 * sim.Millisecond,
+				Tokens:          llmTokenMix(256, 64),
+			},
+		}); err != nil {
+			panic(err)
+		}
+		sys.Run(dur)
+		sum := sys.SLOSummary()
+		llmFuncRow(table, arm.name, sum)
+		if !arm.rtc {
+			rep.SetSLO(sum)
+		}
+	}
+	rep.AddNote("same arrivals, same token mix, same KV budget: run-to-completion holds joiners behind the draining batch (TTFT tail grows with batch residency) while continuous batching admits them at step boundaries")
+	return rep
+}
+
+// LLMKVCachePressure drives memory-bound decode: a KV-tight GPU class
+// leaves ~1 GB of cache headroom over the model's weights, the token mix
+// skews long, and a sustained overload ramps resident concurrency until
+// per-token KV growth exhausts the cache — forcing youngest-sequence
+// preemptions mid-decode and admission refusals at the queue head, both
+// of which the manifest records. The conservation invariant (armed for
+// every driver) audits the charge/release ledger at placement, GPU, and
+// device granularity throughout.
+func LLMKVCachePressure(opts Options) *report.Report {
+	opts = opts.withDefaults()
+	rep := report.New("llm_kvcache_pressure", "LLM serving: KV-cache pressure under memory-bound decode (extra)")
+	dur := opts.dur(60 * sim.Second)
+
+	sys := core.MustSystem(core.Config{
+		Nodes: 1, GPUsPerNode: 2, Seed: opts.Seed, Meter: opts.Meter,
+		// 17 GB cards: LLaMA2-7B's 16 GB of weights leave 1 GB (≈2k
+		// tokens) of KV headroom per GPU.
+		Classes: []cluster.GPUClass{{Name: "kv-tight", Capacity: 1, MemCapMB: 17 * 1024, Weight: 1}},
+	})
+	if _, err := sys.DeployInference("llama2-longform", "LLaMA2-7B", core.InferOpts{
+		Instances: 2, Stages: 1, NoScaler: true,
+		Arrivals: workload.Poisson{RPS: 6},
+		LLM: &core.LLMOpts{
+			MaxBatch: 16,
+			TTFT:     300 * sim.Millisecond,
+			TPOT:     80 * sim.Millisecond,
+			Tokens:   llmTokenMix(512, 256),
+		},
+	}); err != nil {
+		panic(err)
+	}
+	sys.Run(dur)
+	sum := sys.SLOSummary()
+
+	table := rep.AddTable(report.NewTable(
+		"KV pressure: cache occupancy and pressure events",
+		"requests", "tokens out", "tok/s", "kv peak mb", "kv peak share %", "preempt", "refusals", "ttft p95 ms"))
+	l := sum.LLM
+	if l == nil || len(l.Funcs) == 0 {
+		panic("experiments: LLM block missing from SLO summary")
+	}
+	st := l.Funcs[0]
+	table.AddRow(float64(st.Requests), float64(st.TokensOut), st.TokensPerSecond,
+		l.KVPeakMB, l.KVPeakShare*100, float64(l.CacheFullPreemptions),
+		float64(l.AdmitRefusals), st.TTFTP95Millis)
+	rep.SetSLO(sum)
+	rep.AddNote("decode is memory-bound, not compute-bound: each resident sequence grows its KV slice one token per step until the cache fills, evicting the youngest sequence (its decode restarts from prefill on redispatch) and refusing queue heads")
+	return rep
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// llmCell parses one numeric table cell.
+func llmCell(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("bad numeric cell %q: %v", row[i], err)
+	}
+	return v
+}
+
+// TestLLMContinuousBatchBeatsRunToCompletion pins the driver's
+// acceptance property: on the same arrivals, token mix, and KV budget,
+// continuous batching admits joiners at step boundaries while
+// run-to-completion holds them behind the draining batch — so the
+// continuous arm must win on TTFT p95 and TTFT violations.
+func TestLLMContinuousBatchBeatsRunToCompletion(t *testing.T) {
+	rep := LLMContinuousBatch(testOpts())
+	if rep.SLO == nil || rep.SLO.LLM == nil {
+		t.Fatal("llm_continuous_batch must attach an SLO summary with an LLM block")
+	}
+	table := rep.Table("LLM batching: token-level SLO attainment")
+	if table == nil || len(table.Rows) != 2 {
+		t.Fatal("batching table wrong")
+	}
+	type arm struct{ requests, ttftP95, ttftViol float64 }
+	arms := map[string]arm{}
+	for _, row := range table.Rows {
+		arms[row[0]] = arm{
+			requests: llmCell(t, row, 1),
+			ttftP95:  llmCell(t, row, 4),
+			ttftViol: llmCell(t, row, 5),
+		}
+	}
+	cont, rtc := arms["continuous"], arms["run-to-completion"]
+	if cont.requests <= 0 || rtc.requests <= 0 {
+		t.Fatalf("an arm served nothing: continuous %v, run-to-completion %v", cont, rtc)
+	}
+	if cont.ttftP95 >= rtc.ttftP95 {
+		t.Fatalf("continuous batching does not beat run-to-completion on TTFT p95: %.1fms vs %.1fms",
+			cont.ttftP95, rtc.ttftP95)
+	}
+	if cont.ttftViol > rtc.ttftViol {
+		t.Fatalf("continuous batching has more TTFT violations: %v vs %v",
+			cont.ttftViol, rtc.ttftViol)
+	}
+	// The pinned SLO block is the continuous arm's.
+	l := rep.SLO.LLM
+	if len(l.Funcs) != 1 || l.Funcs[0].Requests == 0 || l.TokensOut == 0 {
+		t.Fatalf("LLM block empty: %+v", l)
+	}
+}
+
+// TestLLMKVCachePressureForcesEvictions pins the memory-bound regime:
+// on KV-tight cards the long token mix must exhaust the cache, forcing
+// youngest-sequence preemptions and queue-head refusals, with the KV
+// peak visible in the manifest block. The KV conservation invariant
+// (armed for every driver by TestMain) audits the charge/release
+// ledger throughout the run.
+func TestLLMKVCachePressureForcesEvictions(t *testing.T) {
+	rep := LLMKVCachePressure(testOpts())
+	if rep.SLO == nil || rep.SLO.LLM == nil {
+		t.Fatal("llm_kvcache_pressure must attach an SLO summary with an LLM block")
+	}
+	l := rep.SLO.LLM
+	if l.CacheFullPreemptions == 0 {
+		t.Fatal("no cache-full preemptions under the KV-tight configuration")
+	}
+	if l.AdmitRefusals == 0 {
+		t.Fatal("no admission refusals under sustained KV pressure")
+	}
+	if l.KVPeakMB <= 0 || l.KVPeakShare <= 0 {
+		t.Fatalf("KV peak not recorded: %.1f MB, share %.4f", l.KVPeakMB, l.KVPeakShare)
+	}
+	if l.TokensOut == 0 || l.TokensPerSecond <= 0 {
+		t.Fatalf("no token throughput recorded: %+v", l)
+	}
+	table := rep.Table("KV pressure: cache occupancy")
+	if table == nil || len(table.Rows) != 1 {
+		t.Fatal("pressure table wrong")
+	}
+	row := table.Rows[0]
+	if llmCell(t, row, 0) <= 0 {
+		t.Fatal("no requests served")
+	}
+	// Table and manifest block must agree on the pressure counters.
+	if llmCell(t, row, 5) != float64(l.CacheFullPreemptions) ||
+		llmCell(t, row, 6) != float64(l.AdmitRefusals) {
+		t.Fatalf("table/manifest disagree on pressure counts: row %v vs block %+v", row, l)
+	}
+}

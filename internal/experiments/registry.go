@@ -73,6 +73,8 @@ func All() []Driver {
 		{"straggler_tail", "Hedged dispatch vs timeout-only under slow-GPU population (extra)", TierStandard, StragglerTail},
 		{"coldstart_stages", "Staged cold-start attribution + kernel-cache warm pools (extra)", TierQuick, ColdStartStages},
 		{"prewarm_policy", "Predictive prewarming vs reactive scaling on a demand ramp (extra)", TierStandard, PrewarmPolicy},
+		{"llm_continuous_batch", "Continuous batching vs run-to-completion on a Zipf token mix (extra)", TierQuick, LLMContinuousBatch},
+		{"llm_kvcache_pressure", "KV-cache pressure under memory-bound decode (extra)", TierQuick, LLMKVCachePressure},
 	}
 }
 

@@ -98,6 +98,28 @@ func (d *Device) Detach(r *Resident) {
 	}
 }
 
+// GrowMem enlarges the resident's reservation in place (KV-cache growth
+// during token-level decode). The caller is responsible for checking
+// feasibility against the cluster's MemCapMB view first; the device
+// mirrors the charge so its MemUsedMB stays consistent with placements.
+func (r *Resident) GrowMem(mb float64) {
+	if r == nil || r.detached || mb <= 0 {
+		return
+	}
+	r.MemMB += mb
+	r.dev.usedMem += mb
+}
+
+// ShrinkMem returns part of the resident's reservation (KV-cache release
+// on sequence completion, preemption, or abort).
+func (r *Resident) ShrinkMem(mb float64) {
+	if r == nil || r.detached || mb <= 0 {
+		return
+	}
+	r.MemMB -= mb
+	r.dev.usedMem -= mb
+}
+
 // Residents returns the currently attached residents. The slice is the
 // device's live bookkeeping — callers must treat it as read-only and must
 // not hold it across Attach/Detach; use ResidentCount for hot-path

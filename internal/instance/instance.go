@@ -49,14 +49,30 @@ type Request struct {
 	// dispatches it (ColdNone when it never waited for a launch). The
 	// recorder only counts it when stage tracking is armed.
 	ColdStage metrics.ColdStage
+
+	// Token-level metadata for autoregressive (LLM) requests: the prompt
+	// length to prefill and the number of output tokens to decode. Zero
+	// on every request of a non-LLM function.
+	PromptTokens int
+	DecodeTokens int
+}
+
+// KVBacking is the memory substrate an LLM instance charges KV-cache
+// growth against — one per stage, bridging to the cluster placement and
+// GPU resident so quota conservation holds at every granularity.
+// ReserveKV returns false when the device lacks headroom (cache full).
+type KVBacking interface {
+	ReserveKV(mb float64) bool
+	ReleaseKV(mb float64)
 }
 
 // Stage couples one GPU execution context with its RCKM client. Single-
 // GPU instances have one stage; fragmented LLM instances have one per
-// pipeline shard.
+// pipeline shard. KV is non-nil only on token-level LLM instances.
 type Stage struct {
 	Res    *gpu.Resident
 	Client *rckm.Client
+	KV     KVBacking
 }
 
 // Ticker is implemented by every instance runtime. Busy reports whether
@@ -69,6 +85,28 @@ type Ticker interface {
 	PreTick(now sim.Time)
 	PostTick(now sim.Time)
 	Busy() bool
+}
+
+// Server is the request-serving surface the dispatch plane programs
+// against: the fixed-batch Inference runtime and the token-level LLM
+// runtime both implement it, so placement, load balancing, resilience
+// steals, and teardown are runtime-agnostic.
+type Server interface {
+	Ticker
+	InstID() string
+	SetActive(active bool)
+	Active() bool
+	Enqueue(req Request)
+	QueueLen() int
+	InFlight() int
+	Load() int
+	Served() int64
+	SetOnComplete(fn func(req Request, done sim.Time) bool)
+	StealQueued(id int64) (Request, bool)
+	HasRequest(id int64) bool
+	DropQueue() []Request
+	Abort() []Request
+	Idle() bool
 }
 
 // ---------------------------------------------------------------------------
@@ -121,6 +159,10 @@ func NewInference(id, fn string, spec *model.Spec, ibs int, stages []Stage, rec 
 	inst.applySaturation(1)
 	return inst
 }
+
+// InstID returns the instance identifier (Server interface; ID stays a
+// field for struct-literal construction in tests).
+func (in *Inference) InstID() string { return in.ID }
 
 // SetOnComplete installs the resilience layer's completion hook. The
 // hook sees every finishing request; returning false suppresses the

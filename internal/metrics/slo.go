@@ -159,6 +159,10 @@ type SLOSummary struct {
 	// legacy scalar cold-start path.
 	ColdStart *ColdStartSLO `json:"cold_start,omitempty"`
 
+	// LLM is the token-level serving roll-up; nil for runs that never
+	// deployed a token-level function.
+	LLM *LLMSLO `json:"llm,omitempty"`
+
 	Requests            int64 `json:"requests"`
 	Violations          int64 `json:"violations"`
 	ColdStartViolations int64 `json:"cold_start_violations"`

@@ -1,0 +1,156 @@
+// Token-level serving metrics: TTFT/TPOT latency distributions, output
+// token throughput, and the KV-cache pressure events (preemptions,
+// admission refusals) the LLM runtime reports. One TokenRecorder per
+// function, shared across its instances like the LatencyRecorder.
+package metrics
+
+import (
+	"fmt"
+
+	"dilu/internal/sim"
+)
+
+// TokenRecorder accumulates token-level serving metrics for one
+// function: time-to-first-token and time-per-output-token samples
+// (each with an optional target), output token counts, and KV-cache
+// pressure events.
+type TokenRecorder struct {
+	name string
+	ttft *LatencyRecorder
+	tpot *LatencyRecorder
+
+	tokensOut   int64
+	requests    int64
+	preemptions int64
+	refusals    int64
+}
+
+// NewTokenRecorder creates a recorder with the given TTFT and TPOT
+// targets; a zero target disables the corresponding violation count.
+func NewTokenRecorder(name string, ttftTarget, tpotTarget sim.Duration) *TokenRecorder {
+	return &TokenRecorder{
+		name: name,
+		ttft: NewLatencyRecorder(name+"/ttft", ttftTarget),
+		tpot: NewLatencyRecorder(name+"/tpot", tpotTarget),
+	}
+}
+
+// Name returns the function name this recorder belongs to.
+func (t *TokenRecorder) Name() string { return t.name }
+
+// ObserveTTFT records one time-to-first-token sample (request arrival
+// to first output token).
+func (t *TokenRecorder) ObserveTTFT(d sim.Duration) { t.ttft.Observe(d) }
+
+// ObserveTPOT records one request's mean time-per-output-token over its
+// decode phase (first token to completion).
+func (t *TokenRecorder) ObserveTPOT(d sim.Duration) { t.tpot.Observe(d) }
+
+// AddTokens counts n output tokens produced.
+func (t *TokenRecorder) AddTokens(n int64) { t.tokensOut += n }
+
+// NoteRequest counts one completed request.
+func (t *TokenRecorder) NoteRequest() { t.requests++ }
+
+// NotePreemption counts one cache-full sequence eviction.
+func (t *TokenRecorder) NotePreemption() { t.preemptions++ }
+
+// NoteRefusal counts one queue head refused admission on KV headroom
+// (latched per request by the runtime, not per tick).
+func (t *TokenRecorder) NoteRefusal() { t.refusals++ }
+
+// TTFT and TPOT expose the underlying distributions.
+func (t *TokenRecorder) TTFT() *LatencyRecorder { return t.ttft }
+
+// TPOT returns the time-per-output-token distribution.
+func (t *TokenRecorder) TPOT() *LatencyRecorder { return t.tpot }
+
+// TokensOut returns total output tokens produced.
+func (t *TokenRecorder) TokensOut() int64 { return t.tokensOut }
+
+// Requests returns completed requests.
+func (t *TokenRecorder) Requests() int64 { return t.requests }
+
+// Preemptions returns cache-full sequence evictions.
+func (t *TokenRecorder) Preemptions() int64 { return t.preemptions }
+
+// Refusals returns admission refusals on KV headroom.
+func (t *TokenRecorder) Refusals() int64 { return t.refusals }
+
+func (t *TokenRecorder) String() string {
+	return fmt.Sprintf("%s: tokens=%d ttft-p95=%.1fms tpot-p95=%.1fms preempt=%d refuse=%d",
+		t.name, t.tokensOut, t.ttft.P95().Millis(), t.tpot.P95().Millis(), t.preemptions, t.refusals)
+}
+
+// LLMFuncStats is one function's row in the token-level roll-up.
+type LLMFuncStats struct {
+	Func      string `json:"func"`
+	Requests  int64  `json:"requests"`
+	TokensOut int64  `json:"tokens_out"`
+	// TokensPerSecond is output tokens over the run horizon.
+	TokensPerSecond float64 `json:"tokens_per_second"`
+	// TTFT/TPOT targets and tails; targets omitted when unset.
+	TTFTTargetMillis float64 `json:"ttft_target_ms,omitempty"`
+	TTFTP95Millis    float64 `json:"ttft_p95_ms"`
+	TTFTViolations   int64   `json:"ttft_violations,omitempty"`
+	TPOTTargetMillis float64 `json:"tpot_target_ms,omitempty"`
+	TPOTP95Millis    float64 `json:"tpot_p95_ms"`
+	TPOTViolations   int64   `json:"tpot_violations,omitempty"`
+	// KV pressure attribution: sequences evicted mid-decode on a full
+	// cache, and queue heads refused admission for lack of headroom.
+	CacheFullPreemptions int64 `json:"cache_full_preemptions,omitempty"`
+	AdmitRefusals        int64 `json:"admit_refusals,omitempty"`
+}
+
+// LLMSLO is the token-level serving block of a run summary: per-function
+// TTFT/TPOT accounting plus the run's aggregate token throughput and
+// KV-cache occupancy peaks. Present only on runs that deployed an LLM
+// function; prior manifests keep their bytes.
+type LLMSLO struct {
+	Funcs           []LLMFuncStats `json:"funcs,omitempty"`
+	TokensOut       int64          `json:"tokens_out"`
+	TokensPerSecond float64        `json:"tokens_per_second"`
+	// KVPeakMB is the largest cluster-wide KV reservation observed at
+	// any 1 Hz sample; KVPeakShare the largest single-GPU KV share of
+	// device memory.
+	KVPeakMB             float64 `json:"kv_peak_mb"`
+	KVPeakShare          float64 `json:"kv_peak_share"`
+	CacheFullPreemptions int64   `json:"cache_full_preemptions,omitempty"`
+	AdmitRefusals        int64   `json:"admit_refusals,omitempty"`
+}
+
+// SummarizeLLM builds the token-level roll-up over a run's token
+// recorders (deployment order, for determinism). The horizon converts
+// token counts to rates; KV peaks are sampled by the serving plane and
+// passed through.
+func SummarizeLLM(horizon sim.Duration, kvPeakMB, kvPeakShare float64, recs ...*TokenRecorder) *LLMSLO {
+	sum := &LLMSLO{KVPeakMB: kvPeakMB, KVPeakShare: kvPeakShare}
+	seconds := horizon.Seconds()
+	for _, t := range recs {
+		if t == nil {
+			continue
+		}
+		st := LLMFuncStats{
+			Func:                 t.name,
+			Requests:             t.requests,
+			TokensOut:            t.tokensOut,
+			TTFTTargetMillis:     t.ttft.SLO().Millis(),
+			TTFTP95Millis:        t.ttft.P95().Millis(),
+			TTFTViolations:       int64(t.ttft.Violations()),
+			TPOTTargetMillis:     t.tpot.SLO().Millis(),
+			TPOTP95Millis:        t.tpot.P95().Millis(),
+			TPOTViolations:       int64(t.tpot.Violations()),
+			CacheFullPreemptions: t.preemptions,
+			AdmitRefusals:        t.refusals,
+		}
+		if seconds > 0 {
+			st.TokensPerSecond = float64(t.tokensOut) / seconds
+		}
+		sum.Funcs = append(sum.Funcs, st)
+		sum.TokensOut += st.TokensOut
+		sum.TokensPerSecond += st.TokensPerSecond
+		sum.CacheFullPreemptions += st.CacheFullPreemptions
+		sum.AdmitRefusals += st.AdmitRefusals
+	}
+	return sum
+}

@@ -73,6 +73,11 @@ type Spec struct {
 	DecodePerItem  float64 // marginal decode work per extra sequence
 	AvgOutTokens   int     // output length used for closed-form latency
 	PipelineStages int     // inference pipeline depth when sharded over fragments
+	// KVMBPerToken is the per-token KV-cache footprint charged against
+	// device memory by token-level serving. Catalog values are dyadic
+	// rationals (exact in float64) so repeated reserve/release cycles
+	// accumulate zero drift against the cluster's quota bookkeeping.
+	KVMBPerToken float64
 
 	// Training.
 	TrainMemMB   float64      // per-worker device memory
@@ -302,7 +307,7 @@ var catalog = []*Spec{
 		InferMemMB: 16 * 1024, InferWork1: 90000, InferPerItem: 0.50,
 		InferKnee1: 0.62, KneeBatchExp: 0.30, SLO: 80 * sim.Millisecond,
 		PrefillWork: 90000, DecodeWork1: 15000, DecodePerItem: 0.15,
-		AvgOutTokens: 32, PipelineStages: 4,
+		AvgOutTokens: 32, PipelineStages: 4, KVMBPerToken: 0.5,
 		// Fine-tuning uses DeepSpeed pipeline parallelism; each worker
 		// idles ~20% in pipeline bubbles (paper Fig. 2(b)).
 		TrainMemMB: 9 * 1024, TrainWork: 200000, TrainSync: 55 * sim.Millisecond,
@@ -313,7 +318,7 @@ var catalog = []*Spec{
 		InferMemMB: 14 * 1024, InferWork1: 80000, InferPerItem: 0.50,
 		InferKnee1: 0.60, KneeBatchExp: 0.30, SLO: 80 * sim.Millisecond,
 		PrefillWork: 80000, DecodeWork1: 13500, DecodePerItem: 0.15,
-		AvgOutTokens: 32, PipelineStages: 4,
+		AvgOutTokens: 32, PipelineStages: 4, KVMBPerToken: 0.4375,
 		TrainMemMB: 8 * 1024, TrainWork: 180000, TrainSync: 50 * sim.Millisecond,
 		TrainSamples: 4, TrainKnee: 0.85, TrainStages: 4,
 	},
@@ -331,6 +336,62 @@ func ByName(name string) *Spec {
 		}
 	}
 	panic(fmt.Sprintf("model: unknown model %q", name))
+}
+
+// LLMRefPromptTokens is the prompt length the catalog's PrefillWork
+// figure was calibrated at. Token-level serving scales prefill cost
+// linearly from this reference.
+const LLMRefPromptTokens = 128
+
+// LLMProfile is the token-level cost model for autoregressive serving:
+// per-token prefill work, batch-size-dependent decode step work, and
+// per-token KV-cache footprint. Derived from a generative Spec so the
+// closed-form (GenerateWork) and token-level views share calibration.
+type LLMProfile struct {
+	Name             string
+	PrefillTokenWork float64 // blocks per prompt token prefilled
+	DecodeWork1      float64 // blocks per decode step at one sequence
+	DecodePerSeq     float64 // marginal decode work per extra sequence
+	KVMBPerToken     float64 // KV-cache MB charged per resident token
+	SLO              sim.Duration
+}
+
+// LLM returns the token-level profile of a generative spec; it panics on
+// non-generative models, which is a driver programming error.
+func (s *Spec) LLM() LLMProfile {
+	if !s.Generative {
+		panic(fmt.Sprintf("model: %s is not generative", s.Name))
+	}
+	return LLMProfile{
+		Name:             s.Name,
+		PrefillTokenWork: s.PrefillWork / LLMRefPromptTokens,
+		DecodeWork1:      s.DecodeWork1,
+		DecodePerSeq:     s.DecodePerItem,
+		KVMBPerToken:     s.KVMBPerToken,
+		SLO:              s.SLO,
+	}
+}
+
+// StepWork returns the blocks of one continuous-batching iteration that
+// decodes decodeSeqs sequences while prefilling prefillTokens prompt
+// tokens (chunked-prefill style: joiners share the step with decoders).
+func (p LLMProfile) StepWork(decodeSeqs, prefillTokens int) float64 {
+	var w float64
+	if prefillTokens > 0 {
+		w += float64(prefillTokens) * p.PrefillTokenWork
+	}
+	if decodeSeqs > 0 {
+		w += p.DecodeWork1 * (1 + p.DecodePerSeq*float64(decodeSeqs-1))
+	}
+	return w
+}
+
+// KVForTokens returns the KV-cache memory of n resident tokens.
+func (p LLMProfile) KVForTokens(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * p.KVMBPerToken
 }
 
 // Names returns all catalog model names.

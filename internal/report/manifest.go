@@ -89,6 +89,12 @@ type SLOBlock struct {
 	// runs on the legacy scalar cold-start path so pre-stage manifests
 	// keep their bytes.
 	ColdStart *metrics.ColdStartSLO `json:"cold_start,omitempty"`
+
+	// LLM is the token-level serving roll-up (TTFT/TPOT, token
+	// throughput, KV-cache peaks and pressure events); omitted for runs
+	// without a token-level deployment so prior manifests keep their
+	// bytes.
+	LLM *metrics.LLMSLO `json:"llm,omitempty"`
 }
 
 // SLOBlockOf compresses a summary into the manifest block; nil in, nil out.
@@ -106,6 +112,7 @@ func SLOBlockOf(s *metrics.SLOSummary) *SLOBlock {
 		Gateway:             s.Gateway,
 		Resilience:          s.Resilience,
 		ColdStart:           s.ColdStart,
+		LLM:                 s.LLM,
 	}
 }
 

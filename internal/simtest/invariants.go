@@ -18,6 +18,7 @@ import (
 
 	"dilu/internal/cluster"
 	"dilu/internal/core"
+	"dilu/internal/gpu"
 	"dilu/internal/instance"
 	"dilu/internal/sim"
 )
@@ -40,6 +41,65 @@ func Checkers() []core.Invariant {
 		RetiredGPUQuiescence(),
 		ClassQuotaConservation(),
 		RequestConservation(),
+		KVConservation(),
+	}
+}
+
+// KVConservation verifies the token-level KV-cache ledger at every
+// granularity, for every run (zero everywhere unless an LLM function is
+// deployed):
+//
+//   - per GPU, the KV slice recorded on placements sums to the GPU's
+//     KVUsedMB aggregate (ReserveKV/ReleaseKV/Remove maintain both);
+//   - KVUsedMB is non-negative and never exceeds the memory actually
+//     reserved on the GPU — KV is a slice of MemUsedMB, not an addition;
+//   - per device, the GPU's KV aggregate equals a from-scratch recount
+//     over every live LLM instance's resident sequences (each sequence's
+//     charge split evenly over its stages, the runtime's own split), so
+//     no interleaving of admission, decode growth, preemption, abort, or
+//     teardown can leak or double-free a token's worth of cache.
+func KVConservation() core.Invariant {
+	return core.Invariant{
+		Name: "kv-conservation",
+		Check: func(sys *core.System, now sim.Time) error {
+			recount := map[*gpu.Device]float64{}
+			for _, f := range sys.Functions() {
+				f.VisitInstances(func(in instance.Server, warm bool) {
+					l, ok := in.(*instance.LLM)
+					if !ok {
+						return
+					}
+					per := l.KVUsedMB() / float64(len(l.Stages))
+					for _, st := range l.Stages {
+						recount[st.Res.Device()] += per
+					}
+				})
+			}
+			for _, g := range sys.Clu.GPUs() {
+				var pkv float64
+				for _, p := range g.Placements {
+					pkv += p.KVMB
+				}
+				if math.Abs(pkv-g.KVUsedMB) > quotaEps {
+					return fmt.Errorf("%s: KV placement ledger drifted: GPU %.6f ≠ Σ placements %.6f",
+						g.ID, g.KVUsedMB, pkv)
+				}
+				if g.KVUsedMB < -quotaEps {
+					return fmt.Errorf("%s: negative KV reservation %.6f", g.ID, g.KVUsedMB)
+				}
+				if g.KVUsedMB > g.MemUsedMB+quotaEps {
+					return fmt.Errorf("%s: KV reservation %.6f exceeds reserved memory %.6f",
+						g.ID, g.KVUsedMB, g.MemUsedMB)
+				}
+				if g.Dev != nil {
+					if got := recount[g.Dev]; math.Abs(got-g.KVUsedMB) > quotaEps {
+						return fmt.Errorf("%s: KV ledger drifted: GPU %.6f ≠ Σ live sequences %.6f",
+							g.ID, g.KVUsedMB, got)
+					}
+				}
+			}
+			return nil
+		},
 	}
 }
 
@@ -391,9 +451,9 @@ func ActiveSetConsistency() core.Invariant {
 			}
 			var err error
 			for _, f := range sys.Functions() {
-				f.VisitInstances(func(in *instance.Inference, warm bool) {
+				f.VisitInstances(func(in instance.Server, warm bool) {
 					if err == nil && in.Busy() && !sys.InActiveSet(in) {
-						err = fmt.Errorf("busy instance %s (warm=%v) missing from active set", in.ID, warm)
+						err = fmt.Errorf("busy instance %s (warm=%v) missing from active set", in.InstID(), warm)
 					}
 				})
 				if err != nil {

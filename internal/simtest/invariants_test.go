@@ -39,7 +39,7 @@ func TestCheckersGreenOnHealthySystem(t *testing.T) {
 
 func TestCheckersAreFreshPerCall(t *testing.T) {
 	a, b := Checkers(), Checkers()
-	if len(a) != 7 || len(b) != 7 {
+	if len(a) != 8 || len(b) != 8 {
 		t.Fatalf("checker count: %d/%d", len(a), len(b))
 	}
 	for i := range a {
